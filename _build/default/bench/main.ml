@@ -1,0 +1,278 @@
+(* Bechamel benchmarks: one entry per experiment/table, measuring the
+   host-CPU cost of the simulated hot path that regenerates it. Shapes
+   (who wins, crossovers) come from `vmk run <id>`; these benches keep
+   the simulator itself honest about its own performance.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Machine = Vmk_hw.Machine
+module Arch = Vmk_hw.Arch
+module Cache = Vmk_hw.Cache
+module Kernel = Vmk_ukernel.Kernel
+module Sysif = Vmk_ukernel.Sysif
+module Hypervisor = Vmk_vmm.Hypervisor
+module Hcall = Vmk_vmm.Hcall
+module Net_channel = Vmk_vmm.Net_channel
+module Scenario = Vmk_core.Scenario
+module Apps = Vmk_workloads.Apps
+module Traffic = Vmk_workloads.Traffic
+
+(* --- building blocks --- *)
+
+let l4_pingpong ?arch rounds () =
+  let mach = Machine.create ?arch ~seed:1L () in
+  let k = Kernel.create mach in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let rec loop (c, _) = loop (Sysif.reply_wait c (Sysif.msg 0)) in
+        loop (Sysif.recv Sysif.Any))
+  in
+  let _client =
+    Kernel.spawn k ~name:"client" (fun () ->
+        for _ = 1 to rounds do
+          ignore (Sysif.call server (Sysif.msg 1))
+        done)
+  in
+  ignore (Kernel.run k)
+
+let evtchn_pingpong rounds () =
+  let mach = Machine.create ~seed:1L () in
+  let h = Hypervisor.create mach in
+  let offer = ref None in
+  let _pong =
+    Hypervisor.create_domain h ~name:"pong" (fun () ->
+        let port = Hcall.evtchn_alloc_unbound 1 in
+        offer := Some port;
+        let rec loop () =
+          match Hcall.block ~timeout:10_000_000L () with
+          | Hcall.Events _ ->
+              Hcall.evtchn_send port;
+              loop ()
+          | Hcall.Timed_out -> ()
+        in
+        loop ())
+  in
+  let _ping =
+    Hypervisor.create_domain h ~name:"ping" (fun () ->
+        let rec wait () =
+          match !offer with
+          | Some p -> p
+          | None ->
+              Hcall.yield ();
+              wait ()
+        in
+        let port = Hcall.evtchn_bind ~remote_dom:0 ~remote_port:(wait ()) in
+        for _ = 1 to rounds do
+          Hcall.evtchn_send port;
+          ignore (Hcall.block ~timeout:10_000_000L ())
+        done;
+        Hcall.exit ())
+  in
+  ignore (Hypervisor.run h)
+
+let io_stream ~mode packets () =
+  ignore
+    (Scenario.run_xen ~rx_mode:mode ~blk:false
+       ~traffic:(fun mach ~gate ->
+         Traffic.constant_rate mach ~gate ~period:15_000L ~len:512
+           ~count:packets ())
+       ~app:(Apps.net_rx_stream ~packets ())
+       ())
+
+let syscall_loop ~structure iterations () =
+  let app () = Apps.null_syscalls ~iterations () () in
+  ignore
+    (match structure with
+    | `Native -> Scenario.run_native ~app ()
+    | `Xen_tls -> Scenario.run_xen ~net:false ~blk:false ~glibc_tls:true ~app ()
+    | `L4 -> Scenario.run_l4 ~net:false ~blk:false ~app ())
+
+let mixed_run ~structure rounds () =
+  let app () = Apps.mixed ~rounds ~net_every:2 ~blk_every:5 () () in
+  ignore
+    (match structure with
+    | `Xen -> Scenario.run_xen ~app ()
+    | `L4 -> Scenario.run_l4 ~app ())
+
+let kill_with_blocked_clients clients () =
+  let mach = Machine.create ~seed:1L () in
+  let k = Kernel.create mach in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        ignore (Sysif.recv (Sysif.From 9999)))
+  in
+  for i = 1 to clients do
+    ignore
+      (Kernel.spawn k
+         ~name:(Printf.sprintf "c%d" i)
+         (fun () ->
+           try ignore (Sysif.call server (Sysif.msg 1))
+           with Sysif.Ipc_error _ -> ()))
+  done;
+  ignore
+    (Kernel.run k ~until:(fun () -> Kernel.state_name k server = "blocked-recv"));
+  Kernel.kill k server;
+  ignore (Kernel.run k)
+
+let icache_thrash () =
+  let cache = Cache.of_profile Arch.default in
+  for _ = 1 to 50 do
+    List.iter
+      (fun (region, lines) -> ignore (Cache.touch cache ~region ~lines))
+      Vmk_vmm.Costs.icache_regions
+  done
+
+let macro_compile () =
+  ignore
+    (Scenario.run_l4
+       ~app:(fun () ->
+         Apps.mixed ~rounds:10 ~syscalls_per_round:4 ~work_per_round:400_000
+           ~net_every:10 ~blk_every:15 () ())
+       ())
+
+(* --- test registry: one per table/figure --- *)
+
+let tests =
+  Test.make_grouped ~name:"vmk" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"e1_audit_coverage"
+        (Staged.stage (fun () ->
+             let counters = Vmk_trace.Counter.create_set () in
+             Vmk_trace.Counter.add counters "vmm.page_flip" 3;
+             ignore (Vmk_core.Audit.coverage counters Vmk_core.Audit.vmm)));
+      Test.make ~name:"e2_l4_ipc_roundtrip_x50" (Staged.stage (l4_pingpong 50));
+      Test.make ~name:"e2_evtchn_roundtrip_x50"
+        (Staged.stage (evtchn_pingpong 50));
+      Test.make ~name:"e3_io_flip_50pkts"
+        (Staged.stage (io_stream ~mode:Net_channel.Flip 50));
+      Test.make ~name:"a1_io_copy_50pkts"
+        (Staged.stage (io_stream ~mode:Net_channel.Copy 50));
+      Test.make ~name:"e4_null_syscall_native_x200"
+        (Staged.stage (syscall_loop ~structure:`Native 200));
+      Test.make ~name:"e4_null_syscall_xen_tls_x200"
+        (Staged.stage (syscall_loop ~structure:`Xen_tls 200));
+      Test.make ~name:"e4_null_syscall_l4_x200"
+        (Staged.stage (syscall_loop ~structure:`L4 200));
+      Test.make ~name:"e5_mixed_xen_x20"
+        (Staged.stage (mixed_run ~structure:`Xen 20));
+      Test.make ~name:"e5_mixed_l4_x20"
+        (Staged.stage (mixed_run ~structure:`L4 20));
+      Test.make ~name:"e6_kill_50_blocked_clients"
+        (Staged.stage (kill_with_blocked_clients 50));
+      Test.make ~name:"e7_pingpong_arm64_x50"
+        (Staged.stage (l4_pingpong ~arch:(Arch.profile Arch.Arm64) 50));
+      Test.make ~name:"e8_macro_compile_like" (Staged.stage macro_compile);
+      Test.make ~name:"e9_icache_thrash" (Staged.stage icache_thrash);
+      Test.make ~name:"e10_tcb_reliance_l4"
+        (Staged.stage (fun () ->
+             ignore
+               (Scenario.run_l4 ~net:false
+                  ~app:(Apps.blk_mix ~ops:10 ~span:8 ~seed:3 ())
+                  ())));
+      Test.make ~name:"e11_rt_jitter_l4"
+        (Staged.stage (fun () ->
+             ignore (Vmk_core.Exp_e11.l4_jitter ~quick:true)));
+      Test.make ~name:"e12_mach_rpc_x50"
+        (Staged.stage (fun () ->
+             let mach = Machine.create ~seed:1L () in
+             let k = Vmk_ukernel.Mach_kernel.create mach in
+             let module Mif = Vmk_ukernel.Mach_kernel.Mif in
+             let box = ref None in
+             let _server =
+               Vmk_ukernel.Mach_kernel.spawn k ~name:"s" (fun () ->
+                   let port = Mif.port_create () in
+                   box := Some port;
+                   let rec loop () =
+                     let m = Mif.recv port in
+                     Mif.send m.Mif.tag
+                       { Mif.mlabel = 0; inline_words = 0; ool_bytes = 0; tag = 0 };
+                     loop ()
+                   in
+                   loop ())
+             in
+             let _client =
+               Vmk_ukernel.Mach_kernel.spawn k ~name:"c" (fun () ->
+                   let reply = Mif.port_create () in
+                   let rec wait () =
+                     match !box with
+                     | Some p -> p
+                     | None ->
+                         Mif.yield ();
+                         wait ()
+                   in
+                   let req = wait () in
+                   for _ = 1 to 50 do
+                     Mif.send req
+                       { Mif.mlabel = 1; inline_words = 0; ool_bytes = 0; tag = reply };
+                     ignore (Mif.recv reply)
+                   done;
+                   Mif.exit ())
+             in
+             ignore (Vmk_ukernel.Mach_kernel.run k)));
+      Test.make ~name:"a5_contended_io_boosted"
+        (Staged.stage (fun () ->
+             ignore
+               (Scenario.run_xen ~blk:false
+                  ~traffic:(fun mach ~gate ->
+                    Traffic.constant_rate mach ~gate ~period:20_000L ~len:512
+                      ~count:30 ())
+                  ~app:(Apps.net_rx_stream ~packets:30 ())
+                  ())));
+      Test.make ~name:"a6_pt_batch_paravirt"
+        (Staged.stage (fun () ->
+             let mach = Machine.create ~seed:2L () in
+             let h = Hypervisor.create mach in
+             let _ =
+               Hypervisor.create_domain h ~name:"g" (fun () ->
+                   let frames = Array.of_list (Hcall.alloc_frames 8) in
+                   for round = 1 to 10 do
+                     ignore round;
+                     let ops =
+                       List.concat_map
+                         (fun i ->
+                           [
+                             Hcall.Pt_map
+                               {
+                                 bframe = frames.(i);
+                                 bvpn = 0x500 + i;
+                                 bwritable = true;
+                               };
+                             Hcall.Pt_unmap (0x500 + i);
+                           ])
+                         [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+                     in
+                     Hcall.pt_batch ops
+                   done)
+             in
+             ignore (Hypervisor.run h)));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  let clock = Measure.label Instance.monotonic_clock in
+  match Hashtbl.find_opt results clock with
+  | None -> print_endline "bench: no results"
+  | Some tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      Printf.printf "%-42s %16s\n" "benchmark" "ns/run";
+      Printf.printf "%s\n" (String.make 60 '-');
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (value :: _) -> Printf.printf "%-42s %16.0f\n" name value
+          | Some [] | None -> Printf.printf "%-42s %16s\n" name "n/a")
+        (List.sort compare rows)

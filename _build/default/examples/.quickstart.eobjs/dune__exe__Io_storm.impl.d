@@ -1,0 +1,1 @@
+examples/io_storm.ml: Format Int64 List Vmk_core Vmk_stats Vmk_vmm

@@ -1,0 +1,1 @@
+examples/liability.ml: Format List Vmk_core Vmk_stats

@@ -1,0 +1,1 @@
+examples/portability.ml: Format Int64 List Vmk_hw Vmk_stats Vmk_ukernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 List Printf String Vmk_core Vmk_stats Vmk_workloads

@@ -1,0 +1,1 @@
+examples/realtime.ml: Format Vmk_core Vmk_stats

@@ -1,0 +1,1 @@
+examples/syscall_paths.ml: Format List Vmk_core Vmk_stats

@@ -1,0 +1,1 @@
+examples/syscall_paths.mli:

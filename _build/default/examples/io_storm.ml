@@ -1,0 +1,47 @@
+(* io_storm: the Cherkasova & Gardner measurement, live.
+
+   Streams packets through the Xen-style split network driver at a fixed
+   rate across a packet-size sweep and shows that Dom0's per-packet CPU
+   cost tracks page flips, not bytes — then repeats with the copying
+   backend to show the shape change.
+
+     dune exec examples/io_storm.exe *)
+
+module Exp_e3 = Vmk_core.Exp_e3
+module Net_channel = Vmk_vmm.Net_channel
+module Table = Vmk_stats.Table
+
+let show title points =
+  let table =
+    Table.create
+      ~header:[ "packet B"; "flips"; "dom0 cyc/pkt"; "guest cyc/pkt"; "dom0 share" ]
+  in
+  List.iter
+    (fun (p : Exp_e3.point) ->
+      let per c = Int64.to_float c /. float_of_int (max 1 p.Exp_e3.packets) in
+      Table.add_row table
+        [
+          string_of_int p.Exp_e3.packet_len;
+          string_of_int p.Exp_e3.flips;
+          Table.cellf "%.0f" (per p.Exp_e3.dom0_cycles);
+          Table.cellf "%.0f" (per p.Exp_e3.guest_cycles);
+          Table.cellf "%.1f%%" (100.0 *. p.Exp_e3.dom0_share);
+        ])
+    points;
+  Format.printf "%s@.%a@." title Table.pp table
+
+let () =
+  let sizes = [ 64; 256; 512; 1024; 1460 ] in
+  let flip =
+    Exp_e3.sweep ~mode:Net_channel.Flip ~packets:150 ~period:15_000L ~sizes
+  in
+  let copy =
+    Exp_e3.sweep ~mode:Net_channel.Copy ~packets:150 ~period:15_000L ~sizes
+  in
+  show "Page-flip receive path (Xen 2.x style):" flip;
+  show "Copy receive path (ablation):" copy;
+  Format.printf
+    "Flip mode: Dom0 cost per packet is flat across sizes — proportional to@.";
+  Format.printf
+    "flips, 'irrespective of the message size' [CG05]. Copy mode: it grows@.";
+  Format.printf "with the byte count.@."

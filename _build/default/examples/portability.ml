@@ -1,0 +1,58 @@
+(* portability: one component, nine processor platforms.
+
+   Runs the identical client/server/pager component (the same OCaml
+   closures, zero architecture conditionals) on every architecture
+   profile, then probes where the VMM's trap-gate shortcut exists.
+
+     dune exec examples/portability.exe *)
+
+module Arch = Vmk_hw.Arch
+module Machine = Vmk_hw.Machine
+module Kernel = Vmk_ukernel.Kernel
+module Sysif = Vmk_ukernel.Sysif
+module Table = Vmk_stats.Table
+
+let pingpong arch =
+  let mach = Machine.create ~arch ~seed:5L () in
+  let k = Kernel.create mach in
+  let done_ = ref 0 in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let rec loop (c, _) = loop (Sysif.reply_wait c (Sysif.msg 0)) in
+        loop (Sysif.recv Sysif.Any))
+  in
+  let _client =
+    Kernel.spawn k ~name:"client" (fun () ->
+        for _ = 1 to 100 do
+          ignore (Sysif.call server (Sysif.msg 1));
+          incr done_
+        done)
+  in
+  ignore (Kernel.run k);
+  (!done_, Machine.now mach)
+
+let () =
+  let table =
+    Table.create
+      ~header:
+        [ "platform"; "ops"; "cycles"; "TLB"; "VMM syscall shortcut?" ]
+  in
+  List.iter
+    (fun arch ->
+      let ops, cycles = pingpong arch in
+      Table.add_row table
+        [
+          arch.Arch.name;
+          string_of_int ops;
+          Int64.to_string cycles;
+          (if arch.Arch.tlb_tagged then "tagged" else "untagged");
+          (if arch.Arch.has_trap_gates && arch.Arch.has_segmentation then
+             "yes (IA-32 only)"
+           else "no");
+        ])
+    Arch.all;
+  Format.printf "%a@." Table.pp table;
+  Format.printf
+    "The component ran unmodified everywhere; costs differ, interfaces do@.";
+  Format.printf
+    "not. The VMM's flagship syscall optimisation exists on one platform.@."

@@ -1,0 +1,1 @@
+lib/core/audit.ml: List Taxonomy Vmk_trace Vmk_ukernel Vmk_vmm

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Taxonomy Vmk_trace

@@ -1,0 +1,1 @@
+lib/core/exp_a5.ml: Experiment Int64 List Printf Vmk_guest Vmk_hw Vmk_stats Vmk_trace Vmk_vmm Vmk_workloads

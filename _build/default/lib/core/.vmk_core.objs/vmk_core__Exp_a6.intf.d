@@ -1,0 +1,1 @@
+lib/core/exp_a6.mli: Experiment

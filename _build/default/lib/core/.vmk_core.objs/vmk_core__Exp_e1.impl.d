@@ -1,0 +1,1 @@
+lib/core/exp_e1.ml: Audit Experiment Format List Printf Scenario String Taxonomy Vmk_hw Vmk_stats Vmk_ukernel Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/exp_e10.ml: Experiment Int64 List Printf Scenario String Vmk_guest Vmk_hw Vmk_stats Vmk_trace Vmk_vmm Vmk_workloads

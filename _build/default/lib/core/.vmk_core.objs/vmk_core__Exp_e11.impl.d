@@ -1,0 +1,1 @@
+lib/core/exp_e11.ml: Experiment Int64 Printf Vmk_guest Vmk_hw Vmk_stats Vmk_ukernel Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/exp_e11.mli: Experiment

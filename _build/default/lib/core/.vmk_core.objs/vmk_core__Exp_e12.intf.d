@@ -1,0 +1,1 @@
+lib/core/exp_e12.mli: Experiment

@@ -1,0 +1,1 @@
+lib/core/exp_e2.ml: Array Experiment Int64 List Printf Queue Vmk_hw Vmk_stats Vmk_ukernel Vmk_vmm

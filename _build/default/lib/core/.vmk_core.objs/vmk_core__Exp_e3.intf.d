@@ -1,0 +1,1 @@
+lib/core/exp_e3.mli: Experiment Vmk_vmm

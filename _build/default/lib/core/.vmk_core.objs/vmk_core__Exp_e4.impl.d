@@ -1,0 +1,1 @@
+lib/core/exp_e4.ml: Experiment Int64 List Printf Scenario Vmk_stats Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/exp_e5.ml: Experiment Float Ipc_equiv List Printf Scenario Vmk_stats Vmk_workloads

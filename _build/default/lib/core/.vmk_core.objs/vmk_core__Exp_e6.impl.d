@@ -1,0 +1,1 @@
+lib/core/exp_e6.ml: Experiment List Printf String Vmk_guest Vmk_hw Vmk_sim Vmk_stats Vmk_ukernel Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/exp_e6.mli: Experiment

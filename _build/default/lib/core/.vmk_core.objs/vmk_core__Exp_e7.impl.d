@@ -1,0 +1,1 @@
+lib/core/exp_e7.ml: Experiment Int64 List Printf Vmk_hw Vmk_stats Vmk_ukernel Vmk_vmm

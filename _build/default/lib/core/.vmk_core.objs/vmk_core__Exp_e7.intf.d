@@ -1,0 +1,1 @@
+lib/core/exp_e7.mli: Experiment

@@ -1,0 +1,1 @@
+lib/core/exp_e9.ml: Audit Experiment List Printf Scenario Vmk_hw Vmk_stats Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Format List String Vmk_stats

@@ -1,0 +1,1 @@
+lib/core/ipc_equiv.ml: Format List Vmk_trace

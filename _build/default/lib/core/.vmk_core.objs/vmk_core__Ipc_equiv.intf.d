@@ -1,0 +1,1 @@
+lib/core/ipc_equiv.mli: Format Vmk_trace

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: List Option Vmk_guest Vmk_hw Vmk_trace Vmk_ukernel Vmk_vmm Vmk_workloads

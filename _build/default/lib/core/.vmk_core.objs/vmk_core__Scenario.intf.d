@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Vmk_hw Vmk_trace Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+lib/core/taxonomy.ml: Format List Vmk_trace

@@ -1,0 +1,10 @@
+(** A5 — scheduler share for the driver domain.
+
+    The flip side of E3: Dom0 is on the CPU-hungry path of every I/O
+    operation, so under compute contention a fair scheduler starves the
+    drivers and the NIC overruns. Xen's credit scheduler answers with
+    weights/boosts; our stride scheduler reproduces the effect — the same
+    saturated receive stream is run with Dom0 at the default weight and
+    at a 4x boost, next to a compute-bound domain. *)
+
+val experiment : Experiment.t

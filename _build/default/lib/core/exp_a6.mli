@@ -1,0 +1,11 @@
+(** A6 — paravirtualised vs shadow page tables.
+
+    §2.2 observes VMMs drifting "from pure virtualisation … to
+    paravirtualisation (representation of modified hardware that lends
+    itself better to efficient support of legacy OSen)". Nowhere is that
+    drift sharper than memory management: pure virtualisation shadows the
+    guest's page tables (every PTE write faults into the VMM), while
+    Xen's paravirtual interface validates explicit update hypercalls.
+    This ablation measures a mapping-heavy workload under both modes. *)
+
+val experiment : Experiment.t

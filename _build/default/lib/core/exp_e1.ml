@@ -1,0 +1,168 @@
+module Table = Vmk_stats.Table
+module Apps = Vmk_workloads.Apps
+module Traffic = Vmk_workloads.Traffic
+
+let inventory_table entries =
+  let table =
+    Table.create
+      ~header:[ "primitive"; "roles"; "checks"; "i$ lines"; "module" ]
+  in
+  List.iter
+    (fun (e : Audit.entry) ->
+      Table.add_row table
+        [
+          e.Audit.name;
+          String.concat "+"
+            (List.map
+               (Format.asprintf "%a" Taxonomy.pp_role)
+               e.Audit.roles);
+          string_of_int e.Audit.security_checks;
+          string_of_int e.Audit.icache_lines;
+          e.Audit.implemented_in;
+        ])
+    entries;
+  Table.add_separator table;
+  Table.add_row table
+    [
+      "TOTAL";
+      "";
+      string_of_int (Audit.total_checks entries);
+      string_of_int (Audit.total_icache_lines entries);
+      "";
+    ];
+  table
+
+(* A workload that exercises every primitive on both systems. The app
+   closures run inside the hosted context, so they may additionally poke
+   the hosting layer's raw interface — coverage instrumentation for the
+   primitives the mini-OS paths do not happen to touch. *)
+let coverage_runs ~quick =
+  let rounds = if quick then 30 else 120 in
+  let packets = if quick then 10 else 40 in
+  let xen_app () =
+    (* Both syscall paths: run with a valid shortcut, then let "glibc"
+       load its TLS segment and run bounced. *)
+    Apps.null_syscalls ~iterations:10 () ();
+    Vmk_vmm.Hcall.load_segment Vmk_hw.Segments.Gs
+      { Vmk_hw.Segments.base = 0; limit = 0xFFFF_FFFF };
+    (* Validated page-table updates. *)
+    let frame = List.hd (Vmk_vmm.Hcall.alloc_frames 1) in
+    Vmk_vmm.Hcall.pt_map ~frame ~vpn:0x700 ~writable:true;
+    Vmk_vmm.Hcall.pt_unmap 0x700;
+    Apps.mixed ~rounds ~net_every:2 ~blk_every:4 () ();
+    Apps.net_rx_stream ~packets () ()
+  in
+  let xen =
+    Scenario.run_xen ~fast_syscall:true ~glibc_tls:false
+      ~traffic:(fun mach ~gate ->
+        Traffic.constant_rate mach ~gate ~period:25_000L ~len:512
+          ~count:packets ())
+      ~app:xen_app ()
+  in
+  let l4_app () =
+    (* Delegate a page to a helper and revoke it: map item + unmap. *)
+    let fpage = Vmk_ukernel.Sysif.alloc_pages 1 in
+    let helper =
+      Vmk_ukernel.Sysif.spawn
+        {
+          Vmk_ukernel.Sysif.name = "coverage-helper";
+          priority = Vmk_ukernel.Kernel.default_priority;
+          same_space = false;
+          pager = None;
+          body =
+            (fun () ->
+              (* Hold the delegated page until told to exit, so the
+                 revocation below has something to revoke. *)
+              ignore (Vmk_ukernel.Sysif.recv Vmk_ukernel.Sysif.Any);
+              ignore (Vmk_ukernel.Sysif.recv Vmk_ukernel.Sysif.Any));
+        }
+    in
+    Vmk_ukernel.Sysif.send helper
+      (Vmk_ukernel.Sysif.msg 1
+         ~items:[ Vmk_ukernel.Sysif.Map { fpage; grant = false } ]);
+    Vmk_ukernel.Sysif.unmap fpage;
+    Vmk_ukernel.Sysif.send helper (Vmk_ukernel.Sysif.msg 2);
+    Apps.mixed ~rounds ~net_every:2 ~blk_every:4 () ();
+    Apps.net_rx_stream ~packets () ()
+  in
+  let l4 =
+    Scenario.run_l4
+      ~traffic:(fun mach ~gate ->
+        Traffic.constant_rate mach ~gate ~period:25_000L ~len:512
+          ~count:packets ())
+      ~app:l4_app ()
+  in
+  (xen, l4)
+
+let run ~quick =
+  let xen, l4 = coverage_runs ~quick in
+  let coverage_table system entries (outcome : Scenario.outcome) =
+    let table = Table.create ~header:[ "primitive"; "exercised"; "evidence" ] in
+    List.iter
+      (fun ((e : Audit.entry), hit) ->
+        Table.add_row table
+          [
+            e.Audit.name;
+            (if hit then "yes" else "NO");
+            Printf.sprintf "%s=%d" e.Audit.evidence_counter
+              (Scenario.counter outcome e.Audit.evidence_counter);
+          ])
+      (Audit.coverage outcome.Scenario.counter_set entries);
+    (Printf.sprintf "Dynamic coverage (%s)" system, table)
+  in
+  let uk_central = List.length (Audit.central_primitives Audit.microkernel) in
+  let vmm_count = List.length Audit.vmm in
+  let vmm_covered =
+    List.for_all snd (Audit.coverage xen.Scenario.counter_set Audit.vmm)
+  in
+  let uk_covered =
+    List.for_all snd (Audit.coverage l4.Scenario.counter_set Audit.microkernel)
+  in
+  {
+    Experiment.tables =
+      [
+        ("Microkernel primitive inventory", inventory_table Audit.microkernel);
+        ("VMM primitive inventory (§2.2 list)", inventory_table Audit.vmm);
+        coverage_table "vmm" Audit.vmm xen;
+        coverage_table "microkernel" Audit.microkernel l4;
+      ];
+    verdicts =
+      [
+        Experiment.verdict
+          ~claim:"one combined primitive vs a rich variety (§2.2)"
+          ~expected:
+            "exactly one microkernel primitive carries all three roles; the \
+             VMM lists ~10 dedicated primitives"
+          ~measured:
+            (Printf.sprintf "%d combined microkernel primitive(s); %d VMM \
+                             primitives" uk_central vmm_count)
+          (uk_central = 1 && vmm_count = 10);
+        Experiment.verdict
+          ~claim:"fewer security mechanisms in the combined design"
+          ~expected:"total VMM security checks > 2x microkernel's"
+          ~measured:
+            (Printf.sprintf "vmm %d vs microkernel %d"
+               (Audit.total_checks Audit.vmm)
+               (Audit.total_checks Audit.microkernel))
+          (Audit.total_checks Audit.vmm > 2 * Audit.total_checks Audit.microkernel);
+        Experiment.verdict
+          ~claim:"the inventory is real, not aspirational"
+          ~expected:"every listed primitive executes in the coverage run"
+          ~measured:
+            (Printf.sprintf "vmm covered=%b microkernel covered=%b" vmm_covered
+               uk_covered)
+          (vmm_covered && uk_covered);
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "e1";
+    title = "Primitive & mechanism audit";
+    paper_claim =
+      "§2.2: combining control transfer, data transfer and resource \
+       delegation into a single IPC primitive 'reduces the number of \
+       security mechanisms, reduces the code complexity, and reduces the \
+       code size'; VMMs instead offer ~10 dedicated primitives.";
+    run;
+  }

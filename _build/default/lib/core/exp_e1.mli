@@ -1,0 +1,11 @@
+(** E1 — primitive and mechanism audit.
+
+    §2.2: the microkernel combines control transfer, data transfer and
+    resource delegation into one IPC primitive, "reducing the number of
+    security mechanisms, the code complexity, and the code size"; the VMM
+    "offers a rich variety of primitives", each with "a dedicated set of
+    security mechanisms, resources, and kernel code". Static inventory of
+    both implementations plus a dynamic coverage run proving every listed
+    VMM primitive actually executes. *)
+
+val experiment : Experiment.t

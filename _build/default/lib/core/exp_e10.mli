@@ -1,0 +1,17 @@
+(** E10 — the trusted computing base of one client.
+
+    §2.2 warns that a super-VM "running a legacy operating system …
+    re-introduces a large number of software bugs [CYC+01]", and the
+    paper's conclusion points to [HPHS04] ("small kernels versus
+    virtual-machine monitors") on reducing TCB size. We measure each
+    structure's {e reliance set} — the privileged/infrastructure
+    components whose code actually executes on behalf of one storage
+    client — and weigh it with literature code sizes and the [CYC+01]
+    defect-density observation.
+
+    Measured part: the reliance sets come from cycle accounting of real
+    runs (a component is in the set iff it burned cycles serving the
+    client). Modeled part: component sizes are literature estimates
+    (documented in the table), not measurements of this repository. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,17 @@
+(** E11 — real-time coexistence (the DROPS argument, §3.3).
+
+    §3.3: "the Dresden DROPS system is built specifically on extending a
+    paravirtualised Linux system running on a microkernel with real-time
+    services and is in industrial use." The microkernel's strict
+    priorities let a periodic real-time task meet its activations while a
+    guest OS and compute load run beside it; a fair-share VMM scheduler
+    gives the same task whatever latency the share arithmetic produces.
+    We run the identical periodic task next to identical background load
+    on both structures and compare activation jitter. *)
+
+val experiment : Experiment.t
+
+type jitter = { activations : int; mean : float; max : float }
+
+val l4_jitter : quick:bool -> jitter
+val vmm_jitter : quick:bool -> jitter

@@ -1,0 +1,12 @@
+(** E12 — first-generation vs second-generation IPC.
+
+    The performance half of the microkernel debate the paper inherits:
+    §3.1 notes that Hand et al. generalise "a particular design fault of
+    Mach … onto a whole class of systems", and the literature the
+    rebuttal stands on ([Lie96], [HHL+97]) showed that Mach-style
+    asynchronous, kernel-buffered, port-based IPC is several times more
+    expensive than L4's synchronous single-copy rendezvous. We race the
+    two kernels ({!Vmk_ukernel.Mach_kernel} vs {!Vmk_ukernel.Kernel}) on
+    identical ping-pong RPC. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,16 @@
+(** E2 — IPC primitive microbenchmarks.
+
+    §2.2: "An obvious key requirement for any microkernel is a
+    low-overhead IPC primitive", contrasted with the VMM's heavier
+    dedicated mechanisms. Ping-pong round trips over L4 IPC (register,
+    string, map variants; same- and cross-address-space) versus VMM
+    event-channel notification, grant map/unmap and page-flip
+    operations. *)
+
+val experiment : Experiment.t
+
+val ablation : Experiment.t
+(** A2 — synchronous IPC versus asynchronous event-channel + shared ring
+    under batching: notification coalescing amortises the async path's
+    cost as batch size grows, while synchronous IPC stays constant per
+    message. *)

@@ -1,0 +1,214 @@
+module Table = Vmk_stats.Table
+module Regression = Vmk_stats.Regression
+module Net_channel = Vmk_vmm.Net_channel
+module Apps = Vmk_workloads.Apps
+module Traffic = Vmk_workloads.Traffic
+
+type point = {
+  packet_len : int;
+  packets : int;
+  flips : int;
+  dom0_cycles : int64;
+  guest_cycles : int64;
+  vmm_cycles : int64;
+  dom0_share : float;
+}
+
+let run_one ~mode ~packets ~period ~packet_len =
+  let stats = Apps.stats () in
+  let outcome =
+    Scenario.run_xen ~rx_mode:mode ~blk:false
+      ~traffic:(fun mach ~gate ->
+        Traffic.constant_rate mach ~gate ~period ~len:packet_len ~count:packets ())
+      ~app:(Apps.net_rx_stream ~stats ~packets ())
+      ()
+  in
+  let dom0 = Scenario.account_cycles outcome "dom0" in
+  let guest = Scenario.account_cycles outcome "guest1" in
+  let vmm = Scenario.account_cycles outcome "vmm" in
+  {
+    packet_len;
+    packets = stats.Apps.completed;
+    flips = Scenario.counter outcome "vmm.page_flip";
+    dom0_cycles = dom0;
+    guest_cycles = guest;
+    vmm_cycles = vmm;
+    dom0_share =
+      (let both = Int64.add dom0 guest in
+       if Int64.compare both 0L = 0 then 0.0
+       else Int64.to_float dom0 /. Int64.to_float both);
+  }
+
+let sweep ~mode ~packets ~period ~sizes =
+  List.map (fun packet_len -> run_one ~mode ~packets ~period ~packet_len) sizes
+
+let per_packet cycles packets =
+  if packets = 0 then 0.0 else Int64.to_float cycles /. float_of_int packets
+
+let table_of_points title points =
+  let table =
+    Table.create
+      ~header:
+        [
+          "packet B";
+          "packets";
+          "flips";
+          "dom0 cyc/pkt";
+          "guest cyc/pkt";
+          "vmm cyc/pkt";
+          "dom0/(d0+gu)";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          string_of_int p.packet_len;
+          string_of_int p.packets;
+          string_of_int p.flips;
+          Table.cellf "%.0f" (per_packet p.dom0_cycles p.packets);
+          Table.cellf "%.0f" (per_packet p.guest_cycles p.packets);
+          Table.cellf "%.0f" (per_packet p.vmm_cycles p.packets);
+          Table.cellf "%.1f%%" (100.0 *. p.dom0_share);
+        ])
+    points;
+  (title, table)
+
+let sizes = [ 64; 256; 512; 1024; 1460 ]
+
+let run ~quick =
+  let packets = if quick then 60 else 400 in
+  let period = 15_000L in
+  let flip_points = sweep ~mode:Net_channel.Flip ~packets ~period ~sizes in
+  (* Vary the load (packet count) at fixed size to regress CPU vs flips
+     with real variance in the x-axis. *)
+  let load_points =
+    List.map
+      (fun n -> run_one ~mode:Net_channel.Flip ~packets:n ~period ~packet_len:512)
+      (if quick then [ 30; 60; 90; 120 ] else [ 100; 200; 300; 400; 500 ])
+  in
+  let flips_vs_cycles =
+    Regression.fit
+      (List.map
+         (fun p -> (float_of_int p.flips, Int64.to_float p.dom0_cycles))
+         load_points)
+  in
+  let small = List.hd flip_points in
+  let large = List.nth flip_points (List.length flip_points - 1) in
+  let small_pp = per_packet small.dom0_cycles small.packets in
+  let large_pp = per_packet large.dom0_cycles large.packets in
+  let reg_table = Table.create ~header:[ "regression"; "value" ] in
+  Table.add_row reg_table
+    [ "dom0 cycles vs page flips (load sweep)";
+      Table.cellf "%a" Regression.pp flips_vs_cycles ];
+  Table.add_row reg_table
+    [ "dom0 cyc/pkt at 64 B vs 1460 B";
+      Table.cellf "%.0f vs %.0f" small_pp large_pp ];
+  let max_share =
+    List.fold_left (fun acc p -> max acc p.dom0_share) 0.0 flip_points
+  in
+  {
+    Experiment.tables =
+      [
+        table_of_points "Packet-size sweep (page-flip receive path)" flip_points;
+        ("Proportionality", reg_table);
+      ];
+    verdicts =
+      [
+        Experiment.verdict
+          ~claim:"Dom0 CPU time proportional to page flips [CG05]"
+          ~expected:"r² of dom0-cycles vs flips > 0.99 across load levels"
+          ~measured:(Printf.sprintf "r² = %.4f" flips_vs_cycles.Regression.r2)
+          (flips_vs_cycles.Regression.r2 > 0.99);
+        Experiment.verdict
+          ~claim:"…irrespective of the message size [CG05]"
+          ~expected:"per-packet Dom0 cost at 1460 B within 15% of 64 B"
+          ~measured:(Printf.sprintf "%.0f vs %.0f cycles/pkt" large_pp small_pp)
+          (large_pp < small_pp *. 1.15);
+        Experiment.verdict
+          ~claim:"Dom0 accounts for a large share of system CPU under I/O load"
+          ~expected:
+            "Dom0 uses at least as much CPU as the guest consuming the \
+             traffic (share of dom0+guest > 50% at some sweep point)"
+          ~measured:(Printf.sprintf "max share %.1f%%" (100.0 *. max_share))
+          (max_share > 0.50);
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "e3";
+    title = "Dom0 I/O overhead: CPU vs page flips (CG05)";
+    paper_claim =
+      "§3.2: 'Dom0 CPU time is proportional to the number of Xen's \
+       page-flipping operations, that is, message transfers, irrespective \
+       of the message size' — IPC costs dominate Xen driver overhead under \
+       high I/O load.";
+    run;
+  }
+
+let run_ablation ~quick =
+  let packets = if quick then 60 else 300 in
+  let period = 15_000L in
+  let flip_points = sweep ~mode:Net_channel.Flip ~packets ~period ~sizes in
+  let copy_points = sweep ~mode:Net_channel.Copy ~packets ~period ~sizes in
+  (* Per-packet Dom0 cost as a function of packet size: the slope (in
+     cycles per byte) isolates the data-movement component. Batching
+     effects (larger packets slow the guest, letting Dom0 coalesce more
+     work per wakeup) push both slopes down equally, so the cross-mode
+     difference is the copy cost. *)
+  let slope points =
+    Regression.fit
+      (List.map
+         (fun p ->
+           (float_of_int p.packet_len, per_packet p.dom0_cycles p.packets))
+         points)
+  in
+  let flip_slope = (slope flip_points).Regression.slope in
+  let copy_slope = (slope copy_points).Regression.slope in
+  {
+    Experiment.tables =
+      [
+        table_of_points "Page-flip receive path" flip_points;
+        table_of_points "Copy receive path" copy_points;
+      ];
+    verdicts =
+      [
+        Experiment.verdict
+          ~claim:"copying makes Dom0 cost grow with message size"
+          ~expected:"copy-path slope of dom0 cycles/packet vs bytes > 0.4 c/B"
+          ~measured:(Printf.sprintf "slope %.2f cycles/byte" copy_slope)
+          (copy_slope > 0.4);
+        Experiment.verdict
+          ~claim:"flipping keeps Dom0 cost size-independent"
+          ~expected:"flip-path slope below 0.25 c/B in magnitude"
+          ~measured:(Printf.sprintf "slope %.2f cycles/byte" flip_slope)
+          (abs_float flip_slope < 0.25);
+        Experiment.verdict
+          ~claim:"at full-size packets the copy path costs Dom0 more"
+          ~expected:"dom0 cycles/packet at 1460 B: copy > flip"
+          ~measured:
+            (let at m =
+               let p = List.nth m (List.length m - 1) in
+               per_packet p.dom0_cycles p.packets
+             in
+             Printf.sprintf "copy %.0f vs flip %.0f" (at copy_points)
+               (at flip_points))
+          (let at m =
+             let p = List.nth m (List.length m - 1) in
+             per_packet p.dom0_cycles p.packets
+           in
+           at copy_points > at flip_points);
+      ];
+  }
+
+let ablation =
+  {
+    Experiment.id = "a1";
+    title = "Ablation: page-flip vs copy receive path";
+    paper_claim =
+      "[CG05]'s proportionality result is a property of the page-flipping \
+       design; a copying backend trades map-table churn for per-byte CPU, \
+       changing the cost shape.";
+    run = run_ablation;
+  }

@@ -1,0 +1,128 @@
+module Table = Vmk_stats.Table
+module Apps = Vmk_workloads.Apps
+
+type row = {
+  config : string;
+  cycles_per_syscall : float;
+  relative_to_native : float;
+  fast_count : int;
+  bounce_count : int;
+  l4_rendezvous : int;
+}
+
+let measure ?(iterations = 2000) () =
+  let app () = Apps.null_syscalls ~iterations () () in
+  let per outcome =
+    Int64.to_float outcome.Scenario.busy_cycles /. float_of_int iterations
+  in
+  let native = Scenario.run_native ~app () in
+  let xen_fast =
+    Scenario.run_xen ~net:false ~blk:false ~fast_syscall:true ~glibc_tls:false
+      ~app ()
+  in
+  let xen_tls =
+    Scenario.run_xen ~net:false ~blk:false ~fast_syscall:true ~glibc_tls:true
+      ~app ()
+  in
+  let xen_slow =
+    Scenario.run_xen ~net:false ~blk:false ~fast_syscall:false ~app ()
+  in
+  let l4 = Scenario.run_l4 ~net:false ~blk:false ~app () in
+  let native_cost = per native in
+  let make config outcome =
+    {
+      config;
+      cycles_per_syscall = per outcome;
+      relative_to_native = per outcome /. native_cost;
+      fast_count = Scenario.counter outcome "vmm.syscall_fast";
+      bounce_count = Scenario.counter outcome "vmm.syscall_bounce";
+      l4_rendezvous = Scenario.counter outcome "uk.ipc.rendezvous";
+    }
+  in
+  [
+    make "native" native;
+    make "xen (trap-gate shortcut valid)" xen_fast;
+    make "xen (glibc TLS loaded: shortcut broken)" xen_tls;
+    make "xen (shortcut not registered)" xen_slow;
+    make "l4linux (syscall = IPC to kernel server)" l4;
+  ]
+
+let run ~quick =
+  let iterations = if quick then 300 else 2000 in
+  let rows = measure ~iterations () in
+  let table =
+    Table.create
+      ~header:
+        [ "configuration"; "cycles/syscall"; "vs native"; "fast"; "bounced"; "L4 IPC" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.config;
+          Table.cellf "%.0f" r.cycles_per_syscall;
+          Table.cellf "%.2fx" r.relative_to_native;
+          string_of_int r.fast_count;
+          string_of_int r.bounce_count;
+          string_of_int r.l4_rendezvous;
+        ])
+    rows;
+  let find config = List.find (fun r -> r.config = config) rows in
+  let fast = find "xen (trap-gate shortcut valid)" in
+  let tls = find "xen (glibc TLS loaded: shortcut broken)" in
+  let slow = find "xen (shortcut not registered)" in
+  let l4 = find "l4linux (syscall = IPC to kernel server)" in
+  {
+    Experiment.tables = [ ("Null-syscall cost by hosting structure", table) ];
+    verdicts =
+      [
+        Experiment.verdict
+          ~claim:"glibc's segment use renders the shortcut useless (§3.2)"
+          ~expected:
+            "with TLS loaded every syscall bounces through the VMM and costs \
+             what the unregistered-shortcut path costs (within 10%)"
+          ~measured:
+            (Printf.sprintf "tls %.0f vs slow %.0f cyc; %d bounced, %d fast"
+               tls.cycles_per_syscall slow.cycles_per_syscall tls.bounce_count
+               tls.fast_count)
+          (tls.fast_count = 0
+          && tls.bounce_count >= iterations
+          && abs_float (tls.cycles_per_syscall -. slow.cycles_per_syscall)
+             < 0.1 *. slow.cycles_per_syscall);
+        Experiment.verdict
+          ~claim:"the shortcut, when valid, avoids the VMM entirely"
+          ~expected:"fast config: zero bounces, meaningfully cheaper than slow"
+          ~measured:
+            (Printf.sprintf "fast %.0f vs slow %.0f cyc, %d bounces"
+               fast.cycles_per_syscall slow.cycles_per_syscall
+               fast.bounce_count)
+          (fast.bounce_count = 0
+          && fast.cycles_per_syscall < 0.8 *. slow.cycles_per_syscall);
+        Experiment.verdict
+          ~claim:
+            "a bounced guest syscall is an IPC operation: the L4 path does \
+             explicitly what Xen's slow path does implicitly (§3.2)"
+          ~expected:
+            "L4 performs 2 rendezvous per syscall; both cost the same order \
+             of magnitude (within 3x)"
+          ~measured:
+            (Printf.sprintf "l4 %.0f cyc (%d rendezvous) vs xen slow %.0f cyc"
+               l4.cycles_per_syscall l4.l4_rendezvous
+               slow.cycles_per_syscall)
+          (l4.l4_rendezvous >= 2 * iterations
+          && l4.cycles_per_syscall < 3.0 *. slow.cycles_per_syscall
+          && slow.cycles_per_syscall < 3.0 *. l4.cycles_per_syscall);
+      ];
+  }
+
+let experiment =
+  {
+    Experiment.id = "e4";
+    title = "Guest syscall paths: trap-gate shortcut and its demise";
+    paper_claim =
+      "§3.2: each guest syscall traps into the VMM and is reflected to the \
+       guest OS — 'nothing but an IPC operation'; the int80 trap-gate \
+       shortcut is limited and 'Linux's latest glibc violates the \
+       assumption and renders the shortcut useless'.";
+    run;
+  }

@@ -1,0 +1,9 @@
+(** E5 — IPC-operation parity between Xen-style and L4-style stacks.
+
+    §3.2's conclusion: "A Xen-based system performs essentially the same
+    number of IPC operations as a comparable microkernel-based system
+    (such as L4Linux)." The identical mixed workload runs on both stacks;
+    runtime counters are mapped to IPC-equivalent operations by
+    {!Ipc_equiv} and compared per workload round. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,34 @@
+(** E6 — liability inversion and failure blast radius.
+
+    §3.1: Hand et al. accuse microkernels of "liability inversion"; the
+    rebuttal observes Xen has it identically — Parallax "provid[es] a
+    critical system service for a set of VMs", and "a failure of the
+    Parallax server only affects its clients — exactly the same situation
+    as if a server fails in an L4-based system". We kill components
+    mid-workload in both stacks and measure which clients fail and which
+    bystanders keep running. *)
+
+val experiment : Experiment.t
+
+val ablation : Experiment.t
+(** A3 — consolidated Dom0 ("super-VM") vs disaggregated service domain:
+    killing Dom0 takes every I/O path with it, killing Parallax only its
+    storage clients — §2.2's "single point of failure" warning
+    quantified. *)
+
+type fate = {
+  participant : string;
+  role : string;
+  completed : int;
+  errors : int;
+  failed : bool;  (** Stopped early with errors. *)
+}
+
+val vmm_blast_radius :
+  quick:bool -> kill:[ `Parallax | `Dom0 ] -> fate list
+(** Two Parallax storage clients, one Dom0-network client, one pure
+    compute guest; the named component is killed mid-run. Exposed for
+    tests. *)
+
+val l4_blast_radius :
+  quick:bool -> kill:[ `Blk_server | `Pager ] -> fate list

@@ -1,0 +1,18 @@
+(** E7 — portability across the nine processor platforms.
+
+    §2.2: "software that is written for an L4 microkernel naturally runs
+    on nine different processor platforms", while software developed
+    against a VMM's interface "is inherently unportable across
+    architectures" because the VMM resembles one architecture's hardware.
+    The same client/server/pager component binary (the same OCaml
+    closures, no architecture conditionals) runs on all nine profiles;
+    the VMM's flagship x86 optimisation — the trap-gate syscall shortcut —
+    is probed on each platform. *)
+
+val experiment : Experiment.t
+
+val ablation : Experiment.t
+(** A4 — tagged vs untagged TLBs: the cross-address-space IPC penalty the
+    microkernel pays on x86-class hardware largely vanishes on
+    tagged-TLB platforms, while the VMM world switch keeps its fixed
+    save/restore cost everywhere. *)

@@ -1,0 +1,10 @@
+(** E9 — code size and cache footprint of the primitive set.
+
+    §2.2: "A smaller code base reduces the number of errors in the
+    privileged kernel, as well as reducing the cache footprint." The
+    microkernel's single IPC path is compared against the sum of the
+    VMM's primitive paths: statically (i-cache lines per path, from the
+    {!Audit} inventory backed by the cost model) and dynamically (i-cache
+    misses accumulated by the same workload on both stacks). *)
+
+val experiment : Experiment.t

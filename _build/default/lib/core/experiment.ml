@@ -1,0 +1,53 @@
+type verdict = {
+  claim : string;
+  expected : string;
+  measured : string;
+  holds : bool;
+}
+
+type report = {
+  tables : (string * Vmk_stats.Table.t) list;
+  verdicts : verdict list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  run : quick:bool -> report;
+}
+
+let verdict ~claim ~expected ~measured holds = { claim; expected; measured; holds }
+let all_hold report = List.for_all (fun v -> v.holds) report.verdicts
+
+let pp_report_markdown ppf (t, report) =
+  Format.fprintf ppf "## %s — %s@.@." (String.uppercase_ascii t.id) t.title;
+  Format.fprintf ppf "**Paper claim:** %s@.@." t.paper_claim;
+  List.iter
+    (fun (title, table) ->
+      Format.fprintf ppf "**%s**@.@.%a@." title Vmk_stats.Table.pp_markdown
+        table)
+    report.tables;
+  Format.fprintf ppf "| verdict | claim | expected | measured |@.";
+  Format.fprintf ppf "|---|---|---|---|@.";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "| %s | %s | %s | %s |@."
+        (if v.holds then "**HOLDS**" else "**FAILS**")
+        v.claim v.expected v.measured)
+    report.verdicts;
+  Format.fprintf ppf "@."
+
+let pp_report ppf (t, report) =
+  Format.fprintf ppf "== %s: %s ==@." (String.uppercase_ascii t.id) t.title;
+  Format.fprintf ppf "Paper claim: %s@.@." t.paper_claim;
+  List.iter
+    (fun (title, table) ->
+      Format.fprintf ppf "--- %s ---@.%a@." title Vmk_stats.Table.pp table)
+    report.tables;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "[%s] %s@.    expected: %s@.    measured: %s@."
+        (if v.holds then "HOLDS" else "FAILS")
+        v.claim v.expected v.measured)
+    report.verdicts

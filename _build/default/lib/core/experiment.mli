@@ -1,0 +1,35 @@
+(** Experiment framework.
+
+    Every claim-reproduction (E1–E9) and ablation (A1–A4) is an
+    {!t}: it runs scenarios, renders result tables, and checks explicit
+    verdicts — "the paper expects X, we measured Y, does the shape
+    hold?". [vmk run <id>] and the EXPERIMENTS.md generator both consume
+    this interface. *)
+
+type verdict = {
+  claim : string;  (** What the paper asserts. *)
+  expected : string;  (** The testable shape. *)
+  measured : string;  (** What this run produced. *)
+  holds : bool;
+}
+
+type report = {
+  tables : (string * Vmk_stats.Table.t) list;  (** Titled result tables. *)
+  verdicts : verdict list;
+}
+
+type t = {
+  id : string;  (** "e1" … "e9", "a1" … *)
+  title : string;
+  paper_claim : string;  (** Section reference + quoted claim. *)
+  run : quick:bool -> report;
+      (** [quick] shrinks iteration counts for test-suite use. *)
+}
+
+val verdict : claim:string -> expected:string -> measured:string -> bool -> verdict
+val all_hold : report -> bool
+val pp_report : Format.formatter -> t * report -> unit
+
+val pp_report_markdown : Format.formatter -> t * report -> unit
+(** Render the report as a markdown section — the format EXPERIMENTS.md
+    is built from ([vmk report]). *)

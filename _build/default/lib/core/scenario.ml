@@ -1,0 +1,133 @@
+module Machine = Vmk_hw.Machine
+module Nic = Vmk_hw.Nic
+module Accounts = Vmk_trace.Accounts
+module Counter = Vmk_trace.Counter
+module Kernel = Vmk_ukernel.Kernel
+module Hypervisor = Vmk_vmm.Hypervisor
+module Net_channel = Vmk_vmm.Net_channel
+module Blk_channel = Vmk_vmm.Blk_channel
+module Dom0 = Vmk_vmm.Dom0
+module Port_native = Vmk_guest.Port_native
+module Port_xen = Vmk_guest.Port_xen
+module Port_l4 = Vmk_guest.Port_l4
+module Net_server = Vmk_ukernel.Net_server
+module Blk_server = Vmk_ukernel.Blk_server
+module Traffic = Vmk_workloads.Traffic
+
+type outcome = {
+  cycles : int64;
+  busy_cycles : int64;
+  accounts : (string * int64) list;
+  counters : (string * int) list;
+  counter_set : Counter.set;
+  completed : bool;
+  icache_misses : int;
+  icache_miss_cycles : int;
+}
+
+type traffic_spec = Machine.t -> gate:(unit -> bool) -> Traffic.t
+
+let account_cycles outcome name =
+  match List.assoc_opt name outcome.accounts with Some v -> v | None -> 0L
+
+let counter outcome name =
+  match List.assoc_opt name outcome.counters with Some v -> v | None -> 0
+
+let outcome_of mach ~completed =
+  {
+    cycles = Machine.now mach;
+    busy_cycles = Accounts.busy_total mach.Machine.accounts;
+    accounts = Accounts.to_list mach.Machine.accounts;
+    counters = Counter.to_list mach.Machine.counters;
+    counter_set = mach.Machine.counters;
+    completed;
+    icache_misses = Vmk_hw.Cache.misses mach.Machine.icache;
+    icache_miss_cycles = Vmk_hw.Cache.miss_cycles mach.Machine.icache;
+  }
+
+let run_native ?arch ?seed ?traffic ~app () =
+  let mach = Machine.create ?arch ?seed () in
+  let _source =
+    Option.map
+      (fun spec ->
+        spec mach ~gate:(fun () -> Nic.rx_buffers_posted mach.Machine.nic > 0))
+      traffic
+  in
+  let completed = ref false in
+  Port_native.run mach (fun () ->
+      app ();
+      completed := true);
+  outcome_of mach ~completed:!completed
+
+let run_xen ?arch ?seed ?(rx_mode = Net_channel.Flip) ?(net = true) ?(blk = true)
+    ?(fast_syscall = true) ?(glibc_tls = false) ?traffic ~app () =
+  let mach = Machine.create ?arch ?seed () in
+  let h = Hypervisor.create mach in
+  let net_chan =
+    if net then Some (Net_channel.create ~mode:rx_mode ~demux_key:1 ()) else None
+  in
+  let blk_chan = if blk then Some (Blk_channel.create ()) else None in
+  let dom0 =
+    Hypervisor.create_domain h ~name:Dom0.name ~privileged:true
+      (Dom0.body mach
+         ?net:(Option.map (fun c -> [ c ]) net_chan)
+         ?blk:(Option.map (fun c -> [ c ]) blk_chan))
+  in
+  let ready = ref false in
+  let completed = ref false in
+  let _guest =
+    Hypervisor.create_domain h ~name:"guest1"
+      (Port_xen.guest_body mach
+         ?net:(Option.map (fun c -> (c, dom0)) net_chan)
+         ?blk:(Option.map (fun c -> (c, dom0)) blk_chan)
+         ~fast_syscall ~glibc_tls
+         ~on_ready:(fun () -> ready := true)
+         ~app:(fun () ->
+           app ();
+           completed := true))
+  in
+  let _source =
+    Option.map (fun spec -> spec mach ~gate:(fun () -> !ready)) traffic
+  in
+  ignore (Hypervisor.run h ~until:(fun () -> !completed));
+  (* Let in-flight I/O drain so device counters settle. *)
+  ignore (Hypervisor.run h ~max_dispatches:100_000);
+  outcome_of mach ~completed:!completed
+
+let run_l4 ?arch ?seed ?(net = true) ?(blk = true) ?traffic ~app () =
+  let mach = Machine.create ?arch ?seed () in
+  let k = Kernel.create mach in
+  let net_tid =
+    if net then
+      Some
+        (Kernel.spawn k ~name:"net-server" ~priority:2
+           ~account:Net_server.account (fun () -> Net_server.body mach ()))
+    else None
+  in
+  let blk_tid =
+    if blk then
+      Some
+        (Kernel.spawn k ~name:"blk-server" ~priority:2
+           ~account:Blk_server.account (fun () -> Blk_server.body mach ()))
+    else None
+  in
+  let gk =
+    Kernel.spawn k ~name:"guest-kernel" ~priority:3 ~account:Port_l4.gk_account
+      (Port_l4.guest_kernel_body ~net:net_tid ~blk:blk_tid)
+  in
+  let completed = ref false in
+  let _app_tid =
+    Kernel.spawn k ~name:"app" ~priority:4 ~account:"app"
+      (Port_l4.app_body mach ~gk (fun () ->
+           app ();
+           completed := true))
+  in
+  let _source =
+    Option.map
+      (fun spec ->
+        spec mach ~gate:(fun () -> Nic.rx_buffers_posted mach.Machine.nic > 0))
+      traffic
+  in
+  ignore (Kernel.run k ~until:(fun () -> !completed));
+  ignore (Kernel.run k ~max_dispatches:100_000);
+  outcome_of mach ~completed:!completed

@@ -1,0 +1,63 @@
+(** Uniform system-under-test construction.
+
+    Builds the three hosting structures around the same application body
+    and returns a comparable outcome: total virtual cycles, per-account
+    cycle balances and all runtime counters. One fresh machine per run;
+    nothing leaks between scenarios.
+
+    Traffic sources are attached through a callback receiving the machine
+    and a readiness gate that opens once the I/O stack is up. *)
+
+type outcome = {
+  cycles : int64;  (** Virtual time at workload completion. *)
+  busy_cycles : int64;  (** Sum of all non-idle accounts. *)
+  accounts : (string * int64) list;
+  counters : (string * int) list;
+  counter_set : Vmk_trace.Counter.set;  (** For {!Ipc_equiv}/{!Audit}. *)
+  completed : bool;  (** The application body ran to completion. *)
+  icache_misses : int;  (** Kernel-path i-cache misses (experiment E9). *)
+  icache_miss_cycles : int;
+}
+
+type traffic_spec =
+  Vmk_hw.Machine.t -> gate:(unit -> bool) -> Vmk_workloads.Traffic.t
+
+val account_cycles : outcome -> string -> int64
+val counter : outcome -> string -> int
+
+val run_native :
+  ?arch:Vmk_hw.Arch.profile ->
+  ?seed:int64 ->
+  ?traffic:traffic_spec ->
+  app:(unit -> unit) ->
+  unit ->
+  outcome
+(** Mini-OS directly on the machine ({!Vmk_guest.Port_native}). *)
+
+val run_xen :
+  ?arch:Vmk_hw.Arch.profile ->
+  ?seed:int64 ->
+  ?rx_mode:Vmk_vmm.Net_channel.rx_mode ->
+  ?net:bool ->
+  ?blk:bool ->
+  ?fast_syscall:bool ->
+  ?glibc_tls:bool ->
+  ?traffic:traffic_spec ->
+  app:(unit -> unit) ->
+  unit ->
+  outcome
+(** Hypervisor + Dom0 (with the requested backends) + one guest domain
+    running the app ({!Vmk_guest.Port_xen}). Defaults: net and blk on,
+    page-flip receive, trap-gate shortcut registered, no TLS. *)
+
+val run_l4 :
+  ?arch:Vmk_hw.Arch.profile ->
+  ?seed:int64 ->
+  ?net:bool ->
+  ?blk:bool ->
+  ?traffic:traffic_spec ->
+  app:(unit -> unit) ->
+  unit ->
+  outcome
+(** Microkernel + user-level driver servers + guest-kernel server + one
+    application thread ({!Vmk_guest.Port_l4}). *)

@@ -1,0 +1,1 @@
+lib/guest/minifs.ml: Hashtbl List Option

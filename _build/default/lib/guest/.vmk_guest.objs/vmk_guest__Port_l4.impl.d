@@ -1,0 +1,1 @@
+lib/guest/port_l4.ml: Array Hashtbl Minifs Option Sys Vmk_hw Vmk_trace Vmk_ukernel

@@ -1,0 +1,1 @@
+lib/guest/port_l4.mli: Vmk_hw Vmk_ukernel

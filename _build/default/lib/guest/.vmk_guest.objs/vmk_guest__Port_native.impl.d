@@ -1,0 +1,1 @@
+lib/guest/port_native.ml: List Minifs Queue Sys Vmk_hw Vmk_sim Vmk_trace

@@ -1,0 +1,1 @@
+lib/guest/port_native.mli: Vmk_hw

@@ -1,0 +1,1 @@
+lib/guest/port_xen.ml: Minifs Option Sys Vmk_hw Vmk_trace Vmk_vmm

@@ -1,0 +1,1 @@
+lib/guest/port_xen.mli: Vmk_hw Vmk_vmm

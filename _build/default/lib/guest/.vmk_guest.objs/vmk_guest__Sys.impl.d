@@ -1,0 +1,1 @@
+lib/guest/sys.ml: Effect

@@ -1,0 +1,223 @@
+module Machine = Vmk_hw.Machine
+module Counter = Vmk_trace.Counter
+module Sysif = Vmk_ukernel.Sysif
+module Proto = Vmk_ukernel.Proto
+
+let gk_account = "guestk"
+
+(* Syscall opcodes on the wire between application and guest kernel. *)
+let op_getpid = 1
+let op_yield = 2
+let op_net_send = 3
+let op_net_recv = 4
+let op_blk_write = 5
+let op_blk_read = 6
+let op_fs_create = 7
+let op_fs_append = 8
+let op_fs_read = 9
+let op_exit = 10
+
+(* --- guest-kernel server --- *)
+
+type gk_state = {
+  net : Sysif.tid option;
+  blk : Sysif.tid option;
+  mutable fs : Minifs.t option;
+}
+
+let kernel_work_of_op op =
+  Sys.kernel_work
+    (if op = op_getpid then Sys.G_getpid
+     else if op = op_yield then Sys.G_yield
+     else if op = op_net_send then Sys.G_net_send { len = 0; tag = 0 }
+     else if op = op_net_recv then Sys.G_net_recv
+     else if op = op_blk_write then Sys.G_blk_write { sector = 0; len = 0; tag = 0 }
+     else if op = op_blk_read then Sys.G_blk_read { sector = 0; len = 0 }
+     else if op = op_fs_create then Sys.G_fs_create ""
+     else if op = op_fs_append then Sys.G_fs_append { fd = 0; tag = 0 }
+     else if op = op_fs_read then Sys.G_fs_read { fd = 0; index = 0 }
+     else Sys.G_exit)
+
+let error_reply = Sysif.msg Proto.error
+let ok_reply ?items () = Sysif.msg Proto.ok ?items
+
+let driver_call server m =
+  match Sysif.call server m with
+  | _, reply -> Some reply
+  | exception Sysif.Ipc_error _ -> None
+
+let gk_blk_op st ~write ~sector ~bytes ~tag =
+  match st.blk with
+  | None -> None
+  | Some blk ->
+      if write then
+        driver_call blk
+          (Sysif.msg Proto.blk_write
+             ~items:[ Sysif.Words [| sector |]; Sysif.Str { bytes; tag } ])
+      else
+        driver_call blk
+          (Sysif.msg Proto.blk_read ~items:[ Sysif.Words [| sector; bytes |] ])
+
+let gk_fs st =
+  match st.fs with
+  | Some fs -> fs
+  | None ->
+      let read ~sector =
+        match gk_blk_op st ~write:false ~sector ~bytes:Sys.block_size ~tag:0 with
+        | Some reply when reply.Sysif.label = Proto.ok ->
+            Sysif.first_str_tag reply
+        | Some _ | None -> None
+      in
+      let write ~sector ~tag =
+        match gk_blk_op st ~write:true ~sector ~bytes:Sys.block_size ~tag with
+        | Some reply -> reply.Sysif.label = Proto.ok
+        | None -> false
+      in
+      let fs = Minifs.create ~read ~write () in
+      st.fs <- Some fs;
+      fs
+
+let serve st (m : Sysif.msg) =
+  let w = Sysif.words m in
+  let arg i = if Array.length w > i then w.(i) else 0 in
+  let op = arg 0 in
+  Sysif.burn (kernel_work_of_op op);
+  if op = op_getpid then ok_reply ~items:[ Sysif.Words [| 1 |] ] ()
+  else if op = op_yield then begin
+    Sysif.yield ();
+    ok_reply ()
+  end
+  else if op = op_net_send then begin
+    match st.net with
+    | None -> error_reply
+    | Some net -> begin
+        let bytes = Sysif.str_total m in
+        let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+        match
+          driver_call net
+            (Sysif.msg Proto.net_send ~items:[ Sysif.Str { bytes; tag } ])
+        with
+        | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
+        | Some _ | None -> error_reply
+      end
+  end
+  else if op = op_net_recv then begin
+    match st.net with
+    | None -> error_reply
+    | Some net -> begin
+        match driver_call net (Sysif.msg Proto.net_recv) with
+        | Some reply when reply.Sysif.label = Proto.ok ->
+            let bytes = Sysif.str_total reply in
+            let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
+            ok_reply ~items:[ Sysif.Str { bytes; tag } ] ()
+        | Some _ | None -> error_reply
+      end
+  end
+  else if op = op_blk_write then begin
+    let bytes = Sysif.str_total m in
+    let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+    match gk_blk_op st ~write:true ~sector:(arg 1) ~bytes ~tag with
+    | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
+    | Some _ | None -> error_reply
+  end
+  else if op = op_blk_read then begin
+    match gk_blk_op st ~write:false ~sector:(arg 1) ~bytes:(arg 2) ~tag:0 with
+    | Some reply when reply.Sysif.label = Proto.ok ->
+        let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
+        ok_reply ~items:[ Sysif.Str { bytes = arg 2; tag } ] ()
+    | Some _ | None -> error_reply
+  end
+  else if op = op_fs_create then begin
+    let fd = Minifs.open_or_create (gk_fs st) (string_of_int (arg 1)) in
+    ok_reply ~items:[ Sysif.Words [| fd |] ] ()
+  end
+  else if op = op_fs_append then begin
+    if Minifs.append (gk_fs st) ~fd:(arg 1) ~tag:(arg 2) then ok_reply ()
+    else error_reply
+  end
+  else if op = op_fs_read then begin
+    match Minifs.read_block (gk_fs st) ~fd:(arg 1) ~index:(arg 2) with
+    | Some tag -> ok_reply ~items:[ Sysif.Words [| tag |] ] ()
+    | None -> error_reply
+  end
+  else if op = op_exit then ok_reply ()
+  else error_reply
+
+let guest_kernel_body ~net ~blk () =
+  let st = { net; blk; fs = None } in
+  let rec loop (client, m) =
+    let reply = serve st m in
+    match Sysif.reply_wait client reply with
+    | next -> loop next
+    | exception Sysif.Ipc_error _ ->
+        (* Client died mid-call; serve the next one. *)
+        loop (Sysif.recv Sysif.Any)
+  in
+  loop (Sysif.recv Sysif.Any)
+
+(* --- application side --- *)
+
+let gk_call gk m =
+  match Sysif.call gk m with
+  | _, reply -> reply
+  | exception Sysif.Ipc_error _ -> raise (Sys.Sys_error "guest kernel dead")
+
+let handler mach gk =
+  let name_ids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_name = ref 1 in
+  let intern name =
+    match Hashtbl.find_opt name_ids name with
+    | Some id -> id
+    | None ->
+        let id = !next_name in
+        incr next_name;
+        Hashtbl.add name_ids name id;
+        id
+  in
+  fun call ->
+    match call with
+    | Sys.G_burn n ->
+        Sysif.burn n;
+        Sys.G_unit
+    | _ -> begin
+        Counter.incr mach.Machine.counters "gsys.count";
+        let rpc ?items words =
+          gk_call gk
+            (Sysif.msg Proto.guest_syscall
+               ~items:(Sysif.Words words :: Option.value items ~default:[]))
+        in
+        let reply =
+          match call with
+          | Sys.G_burn _ -> assert false
+          | Sys.G_getpid -> rpc [| op_getpid |]
+          | Sys.G_yield -> rpc [| op_yield |]
+          | Sys.G_net_send { len; tag } ->
+              rpc [| op_net_send |] ~items:[ Sysif.Str { bytes = len; tag } ]
+          | Sys.G_net_recv -> rpc [| op_net_recv |]
+          | Sys.G_blk_write { sector; len; tag } ->
+              rpc
+                [| op_blk_write; sector |]
+                ~items:[ Sysif.Str { bytes = len; tag } ]
+          | Sys.G_blk_read { sector; len } -> rpc [| op_blk_read; sector; len |]
+          | Sys.G_fs_create name -> rpc [| op_fs_create; intern name |]
+          | Sys.G_fs_append { fd; tag } -> rpc [| op_fs_append; fd; tag |]
+          | Sys.G_fs_read { fd; index } -> rpc [| op_fs_read; fd; index |]
+          | Sys.G_exit -> rpc [| op_exit |]
+        in
+        if reply.Sysif.label <> Proto.ok then Sys.G_error "syscall failed"
+        else begin
+          let w = Sysif.words reply in
+          match call with
+          | Sys.G_getpid | Sys.G_fs_create _ | Sys.G_fs_read _ ->
+              Sys.G_int (if Array.length w > 0 then w.(0) else 0)
+          | Sys.G_net_recv | Sys.G_blk_read _ ->
+              let len = Sysif.str_total reply in
+              let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
+              Sys.G_data { len; tag }
+          | Sys.G_burn _ | Sys.G_yield | Sys.G_net_send _ | Sys.G_blk_write _
+          | Sys.G_fs_append _ | Sys.G_exit ->
+              Sys.G_unit
+        end
+      end
+
+let app_body mach ~gk app () = Sys.run_with_handler ~handler:(handler mach gk) app

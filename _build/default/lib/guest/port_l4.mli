@@ -1,0 +1,34 @@
+(** L4 port: the mini-OS as a microkernel server (L4Linux analog).
+
+    The guest kernel is an ordinary thread; applications are threads in
+    their own address spaces whose system calls are IPC calls to the
+    guest-kernel server — exactly the structure of [HHL+97]. Device
+    access goes through the user-level driver servers, adding one more
+    IPC round trip per I/O, and the same guest-kernel work is charged as
+    on the other ports.
+
+    Wiring (see {!Vmk_core} scenarios): spawn {!Net_server}/{!Blk_server}
+    threads, spawn {!guest_kernel_body} with their tids, then spawn each
+    application with {!app_body}. *)
+
+val gk_account : string
+(** ["guestk"] — the guest-kernel server's cycle account. *)
+
+val guest_kernel_body :
+  net:Vmk_ukernel.Sysif.tid option ->
+  blk:Vmk_ukernel.Sysif.tid option ->
+  unit ->
+  unit
+(** Server loop translating the mini-OS syscall protocol into driver
+    RPC. A dead driver server surfaces as error replies to the
+    application, not as a server crash. *)
+
+val app_body :
+  Vmk_hw.Machine.t ->
+  gk:Vmk_ukernel.Sysif.tid ->
+  (unit -> unit) ->
+  unit ->
+  unit
+(** Wrap an application: every {!Sys} syscall becomes
+    [Sysif.call gk …]. Raises {!Sys.Sys_error} into the app when the
+    guest kernel has died (E6's microkernel-side blast radius). *)

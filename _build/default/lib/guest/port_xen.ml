@@ -1,0 +1,153 @@
+module Machine = Vmk_hw.Machine
+module Segments = Vmk_hw.Segments
+module Counter = Vmk_trace.Counter
+module Hcall = Vmk_vmm.Hcall
+module Netfront = Vmk_vmm.Netfront
+module Blkfront = Vmk_vmm.Blkfront
+module Evt_mux = Vmk_vmm.Evt_mux
+
+let io_timeout = 50_000_000L
+
+type state = {
+  mach : Machine.t;
+  mux : Evt_mux.t;
+  net : Netfront.t option;
+  blk : Blkfront.t option;
+  mutable fs : Minifs.t option;
+}
+
+let net_exn st =
+  match st.net with
+  | Some front -> front
+  | None -> raise (Sys.Sys_error "no network device")
+
+let blk_exn st =
+  match st.blk with
+  | Some front -> front
+  | None -> raise (Sys.Sys_error "no block device")
+
+let make_fs st =
+  let front = blk_exn st in
+  let read ~sector =
+    Blkfront.read front ~mux:st.mux ~sector ~bytes:Sys.block_size
+      ~timeout:io_timeout ()
+  in
+  let write ~sector ~tag =
+    Blkfront.write front ~mux:st.mux ~sector ~bytes:Sys.block_size ~tag
+      ~timeout:io_timeout ()
+  in
+  Minifs.create ~read ~write ()
+
+let get_fs st =
+  match st.fs with
+  | Some fs -> fs
+  | None ->
+      let fs = make_fs st in
+      st.fs <- Some fs;
+      fs
+
+let do_net_send st ~len ~tag =
+  let front = net_exn st in
+  (* Retry while transmit resources are exhausted (ring back-pressure). *)
+  let rec attempt tries =
+    if Netfront.send front ~len ~tag then Sys.G_unit
+    else if Netfront.backend_dead front then Sys.G_error "network backend dead"
+    else if tries = 0 then Sys.G_error "transmit ring saturated"
+    else begin
+      (match Hcall.block ~timeout:100_000L () with
+      | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
+      | Hcall.Timed_out -> ());
+      attempt (tries - 1)
+    end
+  in
+  attempt 32
+
+let do_net_recv st =
+  let front = net_exn st in
+  let got = ref None in
+  let arrived () =
+    Netfront.pump front;
+    (match !got with
+    | None -> got := Netfront.try_recv front
+    | Some _ -> ());
+    !got <> None || Netfront.backend_dead front
+  in
+  let ok = Evt_mux.wait st.mux ~timeout:io_timeout ~until:arrived () in
+  match (!got, ok) with
+  | Some (len, tag), _ -> Sys.G_data { len; tag }
+  | None, _ -> Sys.G_error "network receive failed"
+
+let do_blk st op ~sector ~len ~tag =
+  let front = blk_exn st in
+  match op with
+  | `Write ->
+      if Blkfront.write front ~mux:st.mux ~sector ~bytes:len ~tag
+           ~timeout:io_timeout ()
+      then Sys.G_unit
+      else Sys.G_error "block write failed"
+  | `Read -> begin
+      match Blkfront.read front ~mux:st.mux ~sector ~bytes:len ~timeout:io_timeout () with
+      | Some tag -> Sys.G_data { len; tag }
+      | None -> Sys.G_error "block read failed"
+    end
+
+let handler st call =
+  match call with
+  | Sys.G_burn n ->
+      Hcall.burn n;
+      Sys.G_unit
+  | _ -> begin
+      Counter.incr st.mach.Machine.counters "gsys.count";
+      (* The user→kernel transition, fast or bounced. *)
+      ignore (Hcall.syscall_trap ());
+      Hcall.burn (Sys.kernel_work call);
+      match call with
+      | Sys.G_burn _ -> assert false
+      | Sys.G_getpid -> Sys.G_int 1
+      | Sys.G_yield ->
+          Hcall.yield ();
+          Sys.G_unit
+      | Sys.G_net_send { len; tag } -> do_net_send st ~len ~tag
+      | Sys.G_net_recv -> do_net_recv st
+      | Sys.G_blk_write { sector; len; tag } -> do_blk st `Write ~sector ~len ~tag
+      | Sys.G_blk_read { sector; len } -> do_blk st `Read ~sector ~len ~tag:0
+      | Sys.G_fs_create name -> Sys.G_int (Minifs.open_or_create (get_fs st) name)
+      | Sys.G_fs_append { fd; tag } ->
+          Sys.G_bool (Minifs.append (get_fs st) ~fd ~tag)
+      | Sys.G_fs_read { fd; index } -> begin
+          match Minifs.read_block (get_fs st) ~fd ~index with
+          | Some tag -> Sys.G_int tag
+          | None -> Sys.G_error "fs read failed"
+        end
+      | Sys.G_exit -> Sys.G_unit
+    end
+
+let guest_body mach ?net ?blk ?(fast_syscall = true) ?(glibc_tls = false)
+    ?(on_ready = fun () -> ()) ~app () =
+  Hcall.set_trap_table ~int80_direct:fast_syscall;
+  if glibc_tls then
+    (* glibc's TLS setup: GS reaches the whole address space, so the live
+       segments no longer exclude the VMM hole. *)
+    Hcall.load_segment Segments.Gs { Segments.base = 0; limit = 0xFFFF_FFFF };
+  let mux = Evt_mux.create () in
+  let net_front =
+    Option.map
+      (fun (chan, backend) ->
+        let front =
+          Netfront.connect chan ~backend ~arch:mach.Machine.arch ()
+        in
+        Evt_mux.on mux (Netfront.port front) (fun () -> Netfront.pump front);
+        front)
+      net
+  in
+  let blk_front =
+    Option.map
+      (fun (chan, backend) ->
+        let front = Blkfront.connect chan ~backend ~arch:mach.Machine.arch () in
+        Evt_mux.on mux (Blkfront.port front) (fun () -> Blkfront.pump front);
+        front)
+      blk
+  in
+  let st = { mach; mux; net = net_front; blk = blk_front; fs = None } in
+  on_ready ();
+  Sys.run_with_handler ~handler:(handler st) app

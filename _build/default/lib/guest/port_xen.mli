@@ -1,0 +1,27 @@
+(** Xen port: the mini-OS as a paravirtualised domain.
+
+    Every system call enters through {!Vmk_vmm.Hcall.syscall_trap} — the
+    trap-gate shortcut when valid, the VMM bounce otherwise (§3.2, E4) —
+    then runs the same guest-kernel work as the other ports. I/O goes
+    through netfront/blkfront to Dom0's backends.
+
+    Returns a domain body for {!Vmk_vmm.Hypervisor.create_domain}. *)
+
+val guest_body :
+  Vmk_hw.Machine.t ->
+  ?net:Vmk_vmm.Net_channel.t * Vmk_vmm.Hcall.domid ->
+  ?blk:Vmk_vmm.Blk_channel.t * Vmk_vmm.Hcall.domid ->
+  ?fast_syscall:bool ->
+  ?glibc_tls:bool ->
+  ?on_ready:(unit -> unit) ->
+  app:(unit -> unit) ->
+  unit ->
+  unit
+(** [guest_body mach ~net:(chan, backend) ~blk:(chan, backend) ~app ()].
+    [on_ready] fires after the frontends are connected, before the app
+    starts — scenarios use it to open the traffic gate.
+    [fast_syscall] (default true) registers the int80 trap-gate shortcut;
+    [glibc_tls] (default false) loads a full-address-space GS descriptor
+    before the app starts, invalidating the shortcut exactly as the
+    paper's glibc observation describes. The I/O timeout is 50M cycles;
+    beyond it the app sees [Sys_error]. *)

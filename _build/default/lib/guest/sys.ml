@@ -1,0 +1,118 @@
+type gcall =
+  | G_burn of int
+  | G_getpid
+  | G_yield
+  | G_net_send of { len : int; tag : int }
+  | G_net_recv
+  | G_blk_write of { sector : int; len : int; tag : int }
+  | G_blk_read of { sector : int; len : int }
+  | G_fs_create of string
+  | G_fs_append of { fd : int; tag : int }
+  | G_fs_read of { fd : int; index : int }
+  | G_exit
+
+type gret =
+  | G_unit
+  | G_int of int
+  | G_bool of bool
+  | G_data of { len : int; tag : int }
+  | G_error of string
+
+type _ Effect.t += Gsys : gcall -> gret Effect.t
+
+exception Sys_error of string
+
+let invoke c = Effect.perform (Gsys c)
+
+let expect_unit = function
+  | G_unit | G_bool true -> ()
+  | G_error e -> raise (Sys_error e)
+  | G_bool false -> raise (Sys_error "operation failed")
+  | G_int _ | G_data _ -> raise (Sys_error "unexpected return")
+
+let expect_int = function
+  | G_int n -> n
+  | G_error e -> raise (Sys_error e)
+  | G_unit | G_bool _ | G_data _ -> raise (Sys_error "unexpected return")
+
+let burn n = expect_unit (invoke (G_burn n))
+let getpid () = expect_int (invoke G_getpid)
+let yield () = expect_unit (invoke G_yield)
+let net_send ~len ~tag = expect_unit (invoke (G_net_send { len; tag }))
+
+let net_recv () =
+  match invoke G_net_recv with
+  | G_data { len; tag } -> (len, tag)
+  | G_error e -> raise (Sys_error e)
+  | G_unit | G_int _ | G_bool _ -> raise (Sys_error "unexpected return")
+
+let blk_write ~sector ~len ~tag =
+  expect_unit (invoke (G_blk_write { sector; len; tag }))
+
+let blk_read ~sector ~len =
+  match invoke (G_blk_read { sector; len }) with
+  | G_data { tag; _ } -> tag
+  | G_error e -> raise (Sys_error e)
+  | G_unit | G_int _ | G_bool _ -> raise (Sys_error "unexpected return")
+
+let fs_create name = expect_int (invoke (G_fs_create name))
+let fs_append ~fd ~tag = expect_unit (invoke (G_fs_append { fd; tag }))
+
+let fs_read ~fd ~index =
+  match invoke (G_fs_read { fd; index }) with
+  | G_int tag -> tag
+  | G_data { tag; _ } -> tag
+  | G_error e -> raise (Sys_error e)
+  | G_unit | G_bool _ -> raise (Sys_error "unexpected return")
+
+let exit () =
+  ignore (invoke G_exit);
+  assert false
+
+let block_size = 512
+
+let run_with_handler ~handler body =
+  let open Effect.Deep in
+  let pending : (gcall * (gret, unit) continuation) option ref = ref None in
+  let app_exn : exn option ref = ref None in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> app_exn := Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Gsys call ->
+              Some
+                (fun (k : (a, unit) continuation) -> pending := Some (call, k))
+          | _ -> None);
+    };
+  let rec pump () =
+    match !pending with
+    | None -> ()
+    | Some (G_exit, _k) ->
+        (* Never resumed; the fiber is abandoned. *)
+        pending := None
+    | Some (call, k) ->
+        pending := None;
+        (* A handler that raises Sys_error is a failing syscall, not a
+           crashing kernel: surface it to the app as an error return. *)
+        let result =
+          try handler call with Sys_error message -> G_error message
+        in
+        continue k result;
+        pump ()
+  in
+  pump ();
+  match !app_exn with Some e -> raise e | None -> ()
+
+let kernel_work = function
+  | G_burn _ -> 0
+  | G_getpid -> 120
+  | G_yield -> 180
+  | G_net_send _ -> 650
+  | G_net_recv -> 700
+  | G_blk_write _ | G_blk_read _ -> 800
+  | G_fs_create _ -> 450
+  | G_fs_append _ | G_fs_read _ -> 500
+  | G_exit -> 100

@@ -1,0 +1,1 @@
+lib/hw/arch.ml: Format List String

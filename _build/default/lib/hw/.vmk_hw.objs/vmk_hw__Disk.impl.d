@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Addr Frame Hashtbl Int64 Irq Queue Vmk_sim

@@ -1,0 +1,1 @@
+lib/hw/disk.mli: Frame Irq Vmk_sim

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Arch Cache Disk Frame Int64 Irq Nic Tlb Vmk_sim Vmk_trace

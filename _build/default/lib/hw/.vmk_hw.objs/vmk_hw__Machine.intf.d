@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Arch Cache Disk Frame Irq Nic Tlb Vmk_sim Vmk_trace

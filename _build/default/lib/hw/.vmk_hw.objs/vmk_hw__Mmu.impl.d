@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Arch Format Machine Page_table Tlb

@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Addr Frame Irq Queue Vmk_sim

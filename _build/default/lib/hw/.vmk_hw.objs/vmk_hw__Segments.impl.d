@@ -1,0 +1,1 @@
+lib/hw/segments.ml: Addr Format List

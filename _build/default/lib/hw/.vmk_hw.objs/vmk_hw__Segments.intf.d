@@ -1,0 +1,1 @@
+lib/hw/segments.mli: Addr Format

@@ -1,0 +1,75 @@
+type line = { region : string; index : int }
+
+type t = {
+  capacity : int;
+  line_bytes : int;
+  refill_cost : int;
+  mutable lines : line list; (* most-recently-used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable miss_cycles : int;
+}
+
+let create ~lines ~line_bytes ~refill_cost =
+  if lines < 1 || line_bytes < 1 || refill_cost < 1 then
+    invalid_arg "Cache.create: parameters must be >= 1";
+  {
+    capacity = lines;
+    line_bytes;
+    refill_cost;
+    lines = [];
+    hits = 0;
+    misses = 0;
+    miss_cycles = 0;
+  }
+
+let of_profile (p : Arch.profile) =
+  create ~lines:p.Arch.icache_lines ~line_bytes:p.Arch.cacheline_bytes
+    ~refill_cost:p.Arch.tlb_refill_cost
+
+let truncate n xs =
+  let rec take i = function
+    | [] -> []
+    | _ when i = 0 -> []
+    | x :: rest -> x :: take (i - 1) rest
+  in
+  take n xs
+
+let touch_line t line =
+  let rec split acc = function
+    | [] -> None
+    | l :: rest when l = line -> Some (List.rev_append acc rest)
+    | l :: rest -> split (l :: acc) rest
+  in
+  match split [] t.lines with
+  | Some rest ->
+      t.hits <- t.hits + 1;
+      t.lines <- line :: rest;
+      0
+  | None ->
+      t.misses <- t.misses + 1;
+      t.miss_cycles <- t.miss_cycles + t.refill_cost;
+      t.lines <- truncate t.capacity (line :: t.lines);
+      t.refill_cost
+
+let touch t ~region ~lines =
+  let cost = ref 0 in
+  for index = 0 to lines - 1 do
+    cost := !cost + touch_line t { region; index }
+  done;
+  !cost
+
+let footprint_bytes t ~region =
+  t.line_bytes
+  * List.length (List.filter (fun l -> l.region = region) t.lines)
+
+let resident_lines t = List.length t.lines
+let hits t = t.hits
+let misses t = t.misses
+let miss_cycles t = t.miss_cycles
+let flush t = t.lines <- []
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.miss_cycles <- 0

@@ -1,0 +1,85 @@
+type op = Read | Write
+
+type request = {
+  id : int;
+  op : op;
+  sector : int;
+  frame : Frame.frame;
+  bytes : int;
+}
+
+type t = {
+  engine : Vmk_sim.Engine.t;
+  irq_ctrl : Irq.t;
+  irq_line : int;
+  base_latency : int64;
+  per_byte_c100 : int;
+  store : (int, int) Hashtbl.t;
+  done_queue : request Queue.t;
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes : int;
+}
+
+let create engine irq_ctrl ~irq_line ?(base_latency = 40_000L)
+    ?(per_byte_c100 = 800) () =
+  {
+    engine;
+    irq_ctrl;
+    irq_line;
+    base_latency;
+    per_byte_c100;
+    store = Hashtbl.create 256;
+    done_queue = Queue.create ();
+    next_id = 0;
+    in_flight = 0;
+    reads = 0;
+    writes = 0;
+    bytes = 0;
+  }
+
+let irq_line t = t.irq_line
+
+let submit t op ~sector ~frame ~bytes =
+  if sector < 0 then invalid_arg "Disk.submit: negative sector";
+  if bytes < 0 || bytes > Addr.page_size then
+    invalid_arg "Disk.submit: size out of range";
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let request = { id; op; sector; frame; bytes } in
+  t.in_flight <- t.in_flight + 1;
+  let latency =
+    Int64.add t.base_latency (Int64.of_int (bytes * t.per_byte_c100 / 100))
+  in
+  Vmk_sim.Engine.after t.engine latency (fun () ->
+      begin
+        match op with
+        | Read ->
+            let tag =
+              match Hashtbl.find_opt t.store sector with Some v -> v | None -> 0
+            in
+            Frame.set_tag frame tag;
+            t.reads <- t.reads + 1
+        | Write ->
+            Hashtbl.replace t.store sector frame.Frame.tag;
+            t.writes <- t.writes + 1
+      end;
+      t.bytes <- t.bytes + bytes;
+      t.in_flight <- t.in_flight - 1;
+      Queue.add request t.done_queue;
+      Irq.raise_line t.irq_ctrl t.irq_line);
+  id
+
+let completed t = Queue.take_opt t.done_queue
+let completions_pending t = Queue.length t.done_queue
+let in_flight t = t.in_flight
+
+let sector_tag t sector =
+  match Hashtbl.find_opt t.store sector with Some v -> v | None -> 0
+
+let preload t ~sector ~tag = Hashtbl.replace t.store sector tag
+let reads_total t = t.reads
+let writes_total t = t.writes
+let bytes_total t = t.bytes

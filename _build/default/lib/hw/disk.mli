@@ -1,0 +1,56 @@
+(** Block device model.
+
+    A simple latency-modelled disk: requests complete after
+    [base_latency + bytes·per_byte] cycles and raise the disk's interrupt
+    line. Sector contents are content tags (see {!Frame}), persisted in a
+    sector store so reads after writes verify data integrity across the
+    block stack (native driver, blkfront/blkback, Parallax, L4 driver
+    server). *)
+
+type op = Read | Write
+
+type request = {
+  id : int;  (** Ticket returned by {!submit}. *)
+  op : op;
+  sector : int;
+  frame : Frame.frame;  (** DMA target/source buffer. *)
+  bytes : int;
+}
+
+type t
+
+val create :
+  Vmk_sim.Engine.t ->
+  Irq.t ->
+  irq_line:int ->
+  ?base_latency:int64 ->
+  ?per_byte_c100:int ->
+  unit ->
+  t
+(** Default latency: 40_000 cycles + 8 c/B (a fast 2005 disk with cache). *)
+
+val irq_line : t -> int
+
+val submit : t -> op -> sector:int -> frame:Frame.frame -> bytes:int -> int
+(** Queue a request; returns its id. On completion the IRQ line is raised:
+    a [Read] deposits the stored sector tag into the frame; a [Write]
+    persists the frame's tag into the sector store.
+
+    @raise Invalid_argument on negative sector or size out of
+    [\[0, page_size\]]. *)
+
+val completed : t -> request option
+(** Pop the oldest finished request. *)
+
+val completions_pending : t -> int
+val in_flight : t -> int
+
+val sector_tag : t -> int -> int
+(** Stored tag of a sector; [0] if never written. *)
+
+val preload : t -> sector:int -> tag:int -> unit
+(** Seed the sector store (build a test image without I/O). *)
+
+val reads_total : t -> int
+val writes_total : t -> int
+val bytes_total : t -> int

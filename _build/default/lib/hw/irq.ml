@@ -1,0 +1,66 @@
+type t = {
+  pending : bool array;
+  masked : bool array;
+  raised : int array;
+  serviced : int array;
+}
+
+let create ~lines =
+  if lines < 1 then invalid_arg "Irq.create: lines < 1";
+  {
+    pending = Array.make lines false;
+    masked = Array.make lines false;
+    raised = Array.make lines 0;
+    serviced = Array.make lines 0;
+  }
+
+let lines t = Array.length t.pending
+
+let check t n =
+  if n < 0 || n >= lines t then invalid_arg "Irq: line out of range"
+
+let raise_line t n =
+  check t n;
+  t.pending.(n) <- true;
+  t.raised.(n) <- t.raised.(n) + 1
+
+let is_pending t n =
+  check t n;
+  t.pending.(n)
+
+let next_pending t =
+  let rec scan i =
+    if i >= lines t then None
+    else if t.pending.(i) && not t.masked.(i) then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let any_pending t = next_pending t <> None
+
+let ack t n =
+  check t n;
+  if t.pending.(n) then begin
+    t.pending.(n) <- false;
+    t.serviced.(n) <- t.serviced.(n) + 1
+  end
+
+let mask t n =
+  check t n;
+  t.masked.(n) <- true
+
+let unmask t n =
+  check t n;
+  t.masked.(n) <- false
+
+let is_masked t n =
+  check t n;
+  t.masked.(n)
+
+let raised_total t n =
+  check t n;
+  t.raised.(n)
+
+let serviced_total t n =
+  check t n;
+  t.serviced.(n)

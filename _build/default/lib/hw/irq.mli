@@ -1,0 +1,40 @@
+(** Interrupt controller (PIC-style).
+
+    Devices raise lines; the hosting kernel polls {!next_pending} at its
+    preemption points (the simulator has no true asynchrony) and
+    acknowledges lines it services. Lower line numbers have higher
+    priority, as on the 8259. *)
+
+type t
+
+val create : lines:int -> t
+(** @raise Invalid_argument if [lines < 1]. *)
+
+val lines : t -> int
+
+val raise_line : t -> int -> unit
+(** Latch line [n] pending (edge-triggered; re-raising a pending line
+    coalesces, which the raised/serviced counters expose).
+
+    @raise Invalid_argument on an out-of-range line. *)
+
+val is_pending : t -> int -> bool
+(** The line's pending latch is set (masked or not). *)
+
+val next_pending : t -> int option
+(** Highest-priority pending unmasked line, without acknowledging it. *)
+
+val any_pending : t -> bool
+
+val ack : t -> int -> unit
+(** Clear the pending latch for line [n] (start of service). *)
+
+val mask : t -> int -> unit
+val unmask : t -> int -> unit
+val is_masked : t -> int -> bool
+
+val raised_total : t -> int -> int
+(** How many times the line was raised (including coalesced raises). *)
+
+val serviced_total : t -> int -> int
+(** How many times the line was acknowledged. *)

@@ -1,0 +1,58 @@
+type t = {
+  arch : Arch.profile;
+  engine : Vmk_sim.Engine.t;
+  frames : Frame.t;
+  irq : Irq.t;
+  nic : Nic.t;
+  disk : Disk.t;
+  tlb : Tlb.t;
+  icache : Cache.t;
+  counters : Vmk_trace.Counter.set;
+  accounts : Vmk_trace.Accounts.t;
+  rng : Vmk_sim.Rng.t;
+  timer_on : bool ref;
+}
+
+let timer_irq = 0
+let nic_irq = 1
+let disk_irq = 2
+
+let create ?(arch = Arch.default) ?(frames = 4096) ?seed () =
+  let engine = Vmk_sim.Engine.create () in
+  let irq = Irq.create ~lines:8 in
+  {
+    arch;
+    engine;
+    frames = Frame.create ~frames;
+    irq;
+    nic = Nic.create engine irq ~irq_line:nic_irq ();
+    disk = Disk.create engine irq ~irq_line:disk_irq ();
+    tlb = Tlb.of_profile arch;
+    icache = Cache.of_profile arch;
+    counters = Vmk_trace.Counter.create_set ();
+    accounts = Vmk_trace.Accounts.create ();
+    rng = Vmk_sim.Rng.create ?seed ();
+    timer_on = ref false;
+  }
+
+let now t = Vmk_sim.Engine.now t.engine
+
+let burn t cycles =
+  if cycles < 0 then invalid_arg "Machine.burn: negative cycles";
+  let c = Int64.of_int cycles in
+  Vmk_trace.Accounts.charge_current t.accounts c;
+  Vmk_sim.Engine.burn t.engine c
+
+let burn_copy t ~bytes = burn t (Arch.copy_cost t.arch ~bytes)
+
+let start_timer t ~period =
+  if not !(t.timer_on) then begin
+    t.timer_on := true;
+    let flag = t.timer_on in
+    Vmk_sim.Engine.every t.engine period (fun () ->
+        if !flag then Irq.raise_line t.irq timer_irq;
+        !flag)
+  end
+
+let stop_timer t = t.timer_on := false
+let timer_running t = !(t.timer_on)

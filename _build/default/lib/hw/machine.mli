@@ -1,0 +1,54 @@
+(** The simulated machine: one CPU's worth of hardware.
+
+    Composes the event engine, frame table, interrupt controller, TLB,
+    i-cache, NIC, disk and timer under one architecture profile, together
+    with the instrumentation every experiment reads (named counters and
+    per-domain cycle accounts). Scenarios create one fresh machine per run,
+    so no state is shared between experiments. *)
+
+type t = {
+  arch : Arch.profile;
+  engine : Vmk_sim.Engine.t;
+  frames : Frame.t;
+  irq : Irq.t;
+  nic : Nic.t;
+  disk : Disk.t;
+  tlb : Tlb.t;
+  icache : Cache.t;
+  counters : Vmk_trace.Counter.set;
+  accounts : Vmk_trace.Accounts.t;
+  rng : Vmk_sim.Rng.t;
+  timer_on : bool ref;  (** Periodic timer enabled (see {!start_timer}). *)
+}
+
+val timer_irq : int
+(** Line 0. *)
+
+val nic_irq : int
+(** Line 1. *)
+
+val disk_irq : int
+(** Line 2. *)
+
+val create :
+  ?arch:Arch.profile -> ?frames:int -> ?seed:int64 -> unit -> t
+(** A machine with the given profile (default {!Arch.default}) and
+    [frames] physical frames (default 4096 = 16 MiB). *)
+
+val now : t -> int64
+
+val burn : t -> int -> unit
+(** Spend [cycles]: charged to the current {!Vmk_trace.Accounts} account
+    and advanced on the engine (due device events fire).
+
+    @raise Invalid_argument on a negative count. *)
+
+val burn_copy : t -> bytes:int -> unit
+(** Spend a memory-copy's worth of cycles per the architecture profile. *)
+
+val start_timer : t -> period:int64 -> unit
+(** Begin periodic timer interrupts on line {!timer_irq}. The timer stops
+    when {!stop_timer} is called. *)
+
+val stop_timer : t -> unit
+val timer_running : t -> bool

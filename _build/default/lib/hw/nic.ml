@@ -1,0 +1,73 @@
+type rx_event = { frame : Frame.frame; len : int; tag : int }
+
+type t = {
+  engine : Vmk_sim.Engine.t;
+  irq_ctrl : Irq.t;
+  irq_line : int;
+  wire_delay : int64;
+  rx_buffers : Frame.frame Queue.t;
+  rx_queue : rx_event Queue.t;
+  tx_queue : (Frame.frame * int) Queue.t;
+  mutable rx_injected : int;
+  mutable rx_delivered : int;
+  mutable rx_dropped : int;
+  mutable rx_bytes : int;
+  mutable tx_submitted : int;
+  mutable tx_completed : int;
+  mutable tx_bytes : int;
+}
+
+let create engine irq_ctrl ~irq_line ?(wire_delay = 2000L) () =
+  {
+    engine;
+    irq_ctrl;
+    irq_line;
+    wire_delay;
+    rx_buffers = Queue.create ();
+    rx_queue = Queue.create ();
+    tx_queue = Queue.create ();
+    rx_injected = 0;
+    rx_delivered = 0;
+    rx_dropped = 0;
+    rx_bytes = 0;
+    tx_submitted = 0;
+    tx_completed = 0;
+    tx_bytes = 0;
+  }
+
+let irq_line t = t.irq_line
+let post_rx_buffer t frame = Queue.add frame t.rx_buffers
+let rx_buffers_posted t = Queue.length t.rx_buffers
+
+let inject_rx t ~tag ~len =
+  if len < 0 || len > Addr.page_size then
+    invalid_arg "Nic.inject_rx: packet length out of range";
+  t.rx_injected <- t.rx_injected + 1;
+  match Queue.take_opt t.rx_buffers with
+  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | Some frame ->
+      Frame.set_tag frame tag;
+      Queue.add { frame; len; tag } t.rx_queue;
+      t.rx_delivered <- t.rx_delivered + 1;
+      t.rx_bytes <- t.rx_bytes + len;
+      Irq.raise_line t.irq_ctrl t.irq_line
+
+let rx_ready t = Queue.take_opt t.rx_queue
+let rx_pending t = Queue.length t.rx_queue
+
+let submit_tx t frame ~len =
+  t.tx_submitted <- t.tx_submitted + 1;
+  Vmk_sim.Engine.after t.engine t.wire_delay (fun () ->
+      Queue.add (frame, len) t.tx_queue;
+      t.tx_completed <- t.tx_completed + 1;
+      t.tx_bytes <- t.tx_bytes + len;
+      Irq.raise_line t.irq_ctrl t.irq_line)
+
+let tx_done t = Queue.take_opt t.tx_queue
+let rx_injected t = t.rx_injected
+let rx_delivered t = t.rx_delivered
+let rx_dropped t = t.rx_dropped
+let rx_bytes t = t.rx_bytes
+let tx_submitted t = t.tx_submitted
+let tx_completed t = t.tx_completed
+let tx_bytes t = t.tx_bytes

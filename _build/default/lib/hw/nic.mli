@@ -1,0 +1,64 @@
+(** Network interface model.
+
+    A DMA-capable NIC with receive and transmit descriptor rings. The
+    driver posts receive buffers (frames); arriving packets DMA their
+    content tag into the next posted buffer and raise the NIC's interrupt
+    line. Transmits complete after a wire delay. DMA itself costs no CPU —
+    all CPU cost in the I/O experiments comes from the *drivers* (copies,
+    page flips, ring manipulation, interrupt handling), mirroring the
+    Cherkasova & Gardner measurement that E3 reproduces.
+
+    Packet arrival is driven through {!inject_rx}, typically from
+    engine-scheduled workload generators. *)
+
+type t
+
+type rx_event = {
+  frame : Frame.frame;  (** Buffer the packet landed in. *)
+  len : int;  (** Payload bytes. *)
+  tag : int;  (** Content identity (propagated into the frame tag). *)
+}
+
+val create :
+  Vmk_sim.Engine.t -> Irq.t -> irq_line:int -> ?wire_delay:int64 -> unit -> t
+(** A NIC raising [irq_line] on the given controller. [wire_delay] is the
+    transmit completion latency (default 2000 cycles). *)
+
+val irq_line : t -> int
+
+(** {1 Receive} *)
+
+val post_rx_buffer : t -> Frame.frame -> unit
+(** Give the NIC an empty buffer for the next arrival (ring order). *)
+
+val rx_buffers_posted : t -> int
+
+val inject_rx : t -> tag:int -> len:int -> unit
+(** A packet arrives now. If a buffer is posted, its frame receives the
+    tag, an {!rx_event} is queued and the IRQ line is raised; otherwise the
+    packet is dropped.
+
+    @raise Invalid_argument if [len] is negative or exceeds a page. *)
+
+val rx_ready : t -> rx_event option
+(** Pop the oldest unserviced arrival. *)
+
+val rx_pending : t -> int
+
+(** {1 Transmit} *)
+
+val submit_tx : t -> Frame.frame -> len:int -> unit
+(** Queue a frame for transmission; completes (IRQ) after the wire delay. *)
+
+val tx_done : t -> (Frame.frame * int) option
+(** Pop the oldest completed transmit (frame, bytes). *)
+
+(** {1 Statistics} *)
+
+val rx_injected : t -> int
+val rx_delivered : t -> int
+val rx_dropped : t -> int
+val rx_bytes : t -> int
+val tx_submitted : t -> int
+val tx_completed : t -> int
+val tx_bytes : t -> int

@@ -1,0 +1,36 @@
+type pte = {
+  frame : Frame.frame;
+  writable : bool;
+  user : bool;
+  frame_generation : int;
+}
+
+type t = { asid : int; entries : (int, pte) Hashtbl.t }
+
+let create ~asid = { asid; entries = Hashtbl.create 64 }
+let asid t = t.asid
+
+let map t ~vpn frame ~writable ~user =
+  Hashtbl.replace t.entries vpn
+    { frame; writable; user; frame_generation = frame.Frame.generation }
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some pte ->
+      Hashtbl.remove t.entries vpn;
+      Some pte
+  | None -> None
+
+let lookup t ~vpn = Hashtbl.find_opt t.entries vpn
+let stale pte = pte.frame.Frame.generation <> pte.frame_generation
+let mapped_count t = Hashtbl.length t.entries
+let iter t ~f = Hashtbl.iter (fun vpn pte -> f ~vpn pte) t.entries
+let clear t = Hashtbl.reset t.entries
+
+let find_vpn_of_frame t frame =
+  let found = ref None in
+  Hashtbl.iter
+    (fun vpn pte ->
+      if !found = None && pte.frame == frame then found := Some vpn)
+    t.entries;
+  !found

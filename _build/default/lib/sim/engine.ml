@@ -1,0 +1,61 @@
+type t = { clock : Clock.t; queue : (unit -> unit) Heap.t }
+
+let create () = { clock = Clock.create (); queue = Heap.create () }
+let clock t = t.clock
+let now t = Clock.now t.clock
+let at t time f = Heap.push t.queue ~time f
+let after t delta f = Heap.push t.queue ~time:(Int64.add (now t) delta) f
+
+let every t period f =
+  if Int64.compare period 0L <= 0 then
+    invalid_arg "Engine.every: period must be positive";
+  (* Reschedule relative to the due time, not the (possibly later) dispatch
+     time, so periods stay exact even when the clock jumps past several
+     deadlines in one burn. *)
+  let rec tick deadline () =
+    if f () then begin
+      let next = Int64.add deadline period in
+      at t next (tick next)
+    end
+  in
+  let first = Int64.add (now t) period in
+  at t first (tick first)
+
+let pending t = Heap.length t.queue
+
+let dispatch_due t =
+  let rec loop () =
+    match Heap.min_time t.queue with
+    | Some time when Int64.compare time (now t) <= 0 -> begin
+        match Heap.pop t.queue with
+        | Some (_, f) ->
+            f ();
+            loop ()
+        | None -> ()
+      end
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let burn t cycles =
+  Clock.advance t.clock cycles;
+  dispatch_due t
+
+let idle_to_next t =
+  match Heap.min_time t.queue with
+  | None -> false
+  | Some time ->
+      Clock.advance_to t.clock time;
+      dispatch_due t;
+      true
+
+let run ?until t =
+  let continue () =
+    match (Heap.min_time t.queue, until) with
+    | None, _ -> false
+    | Some time, Some limit -> Int64.compare time limit <= 0
+    | Some _, None -> true
+  in
+  while continue () do
+    ignore (idle_to_next t)
+  done

@@ -1,0 +1,48 @@
+(** Discrete-event engine over the virtual {!Clock}.
+
+    Device models (NIC packet arrivals, disk completions, timer ticks)
+    schedule callbacks at absolute or relative virtual times. Kernel code
+    advances time by burning cycles; after each burn the hosting layer calls
+    {!dispatch_due} so that device events fire at (or just after) their due
+    time. When no thread is runnable, {!idle_to_next} skips the clock ahead
+    to the next scheduled event, charging the skipped time to an idle
+    account if the caller wishes. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine with its own clock at cycle 0. *)
+
+val clock : t -> Clock.t
+val now : t -> int64
+
+val at : t -> int64 -> (unit -> unit) -> unit
+(** [at t time f] runs [f] when the clock reaches absolute [time]. An event
+    scheduled in the past fires at the next {!dispatch_due}. *)
+
+val after : t -> int64 -> (unit -> unit) -> unit
+(** [after t delta f] runs [f] [delta] cycles from now. *)
+
+val every : t -> int64 -> (unit -> bool) -> unit
+(** [every t period f] runs [f] every [period] cycles starting one period
+    from now, for as long as [f] returns [true]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val burn : t -> int64 -> unit
+(** [burn t cycles] advances the clock by [cycles] and dispatches any events
+    that became due. This is the simulator's only way of "spending time". *)
+
+val dispatch_due : t -> unit
+(** Fire every event whose due time is [<= now]. Events may schedule further
+    events; dispatch loops until quiescent at the current time. *)
+
+val idle_to_next : t -> bool
+(** Advance the clock to the next pending event and dispatch it. Returns
+    [false] (and leaves the clock alone) when the queue is empty —
+    i.e. the simulation has run out of work. *)
+
+val run : ?until:int64 -> t -> unit
+(** Drain the event queue in timestamp order, stopping when empty or when
+    the next event lies beyond [until]. *)

@@ -1,0 +1,29 @@
+(** Minimum binary heap keyed by [(time, sequence)].
+
+    The event queue of the discrete-event engine. Entries with equal
+    timestamps pop in insertion order (FIFO), which the engine relies on
+    for deterministic device/interrupt interleaving. *)
+
+type 'a t
+(** A min-heap of values of type ['a] keyed by time. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of queued entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int64 -> 'a -> unit
+(** [push h ~time v] queues [v] at timestamp [time]. *)
+
+val min_time : 'a t -> int64 option
+(** Timestamp of the earliest entry, if any. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** Remove and return the earliest entry; [None] when empty. Ties break in
+    insertion order. *)
+
+val clear : 'a t -> unit
+(** Drop all entries. *)

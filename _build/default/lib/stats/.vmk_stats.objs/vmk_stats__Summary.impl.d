@@ -1,0 +1,1 @@
+lib/stats/summary.ml: Array Format Int64 List Stdlib

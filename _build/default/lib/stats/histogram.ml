@@ -1,0 +1,59 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable count : int;
+}
+
+let create ?(buckets = 20) ~lo ~hi () =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
+  { lo; hi; bins = Array.make buckets 0; underflow = 0; overflow = 0; count = 0 }
+
+let add t x =
+  t.count <- t.count + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int (Array.length t.bins) in
+    let i = int_of_float ((x -. t.lo) /. width) in
+    let i = min i (Array.length t.bins - 1) in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let count t = t.count
+let underflow t = t.underflow
+let overflow t = t.overflow
+let bucket_count t = Array.length t.bins
+
+let bucket_range t i =
+  let width = (t.hi -. t.lo) /. float_of_int (Array.length t.bins) in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let bucket_value t i = t.bins.(i)
+
+let mode t =
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v > !best_count then begin
+        best := i;
+        best_count := v
+      end)
+    t.bins;
+  if !best < 0 then None else Some (bucket_range t !best)
+
+let pp ppf t =
+  let biggest = Array.fold_left max 1 t.bins in
+  Array.iteri
+    (fun i v ->
+      if v > 0 then begin
+        let lo, hi = bucket_range t i in
+        let bar = String.make (max 1 (v * 40 / biggest)) '#' in
+        Format.fprintf ppf "[%10.1f, %10.1f) %6d %s@." lo hi v bar
+      end)
+    t.bins;
+  if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow

@@ -1,0 +1,30 @@
+(** Fixed-bucket histograms with ASCII rendering.
+
+    Used by experiment reports to show distributions (e.g. per-packet Dom0
+    cycles, IPC latency) without plotting infrastructure. *)
+
+type t
+
+val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+(** [create ~buckets ~lo ~hi ()] is an empty histogram covering [\[lo, hi)]
+    with [buckets] equal-width bins plus underflow/overflow bins.
+
+    @raise Invalid_argument if [hi <= lo] or [buckets < 1]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val bucket_count : t -> int
+val bucket_range : t -> int -> float * float
+(** Half-open value range of bucket [i]. *)
+
+val bucket_value : t -> int -> int
+(** Occupancy of bucket [i]. *)
+
+val mode : t -> (float * float) option
+(** Range of the fullest bucket, if any data landed in range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line bar rendering, one row per non-empty bucket. *)

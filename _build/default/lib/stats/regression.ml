@@ -1,0 +1,37 @@
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let moments points =
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let mx = sx /. n and my = sy /. n in
+  let sxx, syy, sxy =
+    List.fold_left
+      (fun (sxx, syy, sxy) (x, y) ->
+        let dx = x -. mx and dy = y -. my in
+        (sxx +. (dx *. dx), syy +. (dy *. dy), sxy +. (dx *. dy)))
+      (0.0, 0.0, 0.0) points
+  in
+  (mx, my, sxx, syy, sxy)
+
+let fit points =
+  if List.length points < 2 then invalid_arg "Regression.fit: need >= 2 points";
+  let mx, my, sxx, syy, sxy = moments points in
+  if sxx = 0.0 then invalid_arg "Regression.fit: x values are all equal";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2; n = List.length points }
+
+let predict f x = (f.slope *. x) +. f.intercept
+
+let pearson points =
+  if List.length points < 2 then 0.0
+  else begin
+    let _, _, sxx, syy, sxy = moments points in
+    if sxx = 0.0 || syy = 0.0 then 0.0 else sxy /. sqrt (sxx *. syy)
+  end
+
+let pp ppf f =
+  Format.fprintf ppf "y = %.4f*x + %.2f (r^2=%.4f, n=%d)" f.slope f.intercept
+    f.r2 f.n

@@ -1,0 +1,28 @@
+(** Ordinary-least-squares simple linear regression.
+
+    Experiment E3 reproduces Cherkasova & Gardner's finding that Dom0 CPU
+    time is proportional to the number of page-flip operations and
+    independent of message size: we regress measured CPU cycles against
+    flip counts (expect r² near 1) and against byte counts (expect a poor
+    fit across packet-size sweeps). *)
+
+type fit = {
+  slope : float;  (** dy/dx. *)
+  intercept : float;  (** y at x = 0. *)
+  r2 : float;  (** Coefficient of determination, in [0,1]. *)
+  n : int;  (** Number of points. *)
+}
+
+val fit : (float * float) list -> fit
+(** [fit points] is the OLS line through [(x, y)] pairs.
+
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val predict : fit -> float -> float
+(** [predict f x] is [f.slope *. x +. f.intercept]. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient; [0.] when degenerate. *)
+
+val pp : Format.formatter -> fit -> unit
+(** Render as ["y = a·x + b (r²=…)"]. *)

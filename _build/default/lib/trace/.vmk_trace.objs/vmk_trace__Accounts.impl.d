@@ -1,0 +1,1 @@
+lib/trace/accounts.ml: Format Fun Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/trace/accounts.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/counter.ml: Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/trace/counter.mli: Format

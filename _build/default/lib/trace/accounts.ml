@@ -1,0 +1,59 @@
+type t = {
+  balances : (string, int64 ref) Hashtbl.t;
+  mutable current : string;
+}
+
+let idle = "idle"
+let create () = { balances = Hashtbl.create 16; current = idle }
+
+let cell t name =
+  match Hashtbl.find_opt t.balances name with
+  | Some r -> r
+  | None ->
+      let r = ref 0L in
+      Hashtbl.add t.balances name r;
+      r
+
+let charge t name cycles =
+  if Int64.compare cycles 0L < 0 then invalid_arg "Accounts.charge: negative";
+  let r = cell t name in
+  r := Int64.add !r cycles
+
+let charge_current t cycles = charge t t.current cycles
+let switch_to t name = t.current <- name
+let current t = t.current
+
+let with_account t name f =
+  let previous = t.current in
+  t.current <- name;
+  Fun.protect ~finally:(fun () -> t.current <- previous) f
+
+let balance t name =
+  match Hashtbl.find_opt t.balances name with Some r -> !r | None -> 0L
+
+let total t = Hashtbl.fold (fun _ r acc -> Int64.add acc !r) t.balances 0L
+
+let busy_total t =
+  Hashtbl.fold
+    (fun name r acc -> if name = idle then acc else Int64.add acc !r)
+    t.balances 0L
+
+let share t name =
+  let busy = busy_total t in
+  if Int64.compare busy 0L = 0 then 0.0
+  else Int64.to_float (balance t name) /. Int64.to_float busy
+
+let reset t =
+  Hashtbl.iter (fun _ r -> r := 0L) t.balances;
+  t.current <- idle
+
+let to_list t =
+  Hashtbl.fold
+    (fun name r acc -> if Int64.compare !r 0L <> 0 then (name, !r) :: acc else acc)
+    t.balances []
+  |> List.sort compare
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-12s %12Ld cycles (%.1f%%)@." name v (100.0 *. share t name))
+    (to_list t)

@@ -1,0 +1,49 @@
+(** Per-protection-domain CPU-cycle accounting.
+
+    The central instrument behind experiments E3 and E8: every cycle burnt
+    in the simulator is charged to exactly one account ("dom0", "guest1",
+    "vmm", "ukernel", "idle", …), so CPU shares fall out as ratios of
+    account balances. *)
+
+type t
+(** A set of named cycle accounts with a current-account pointer. *)
+
+val create : unit -> t
+(** Fresh account set; the current account starts as ["idle"]. *)
+
+val charge : t -> string -> int64 -> unit
+(** [charge t name cycles] adds [cycles] to [name]'s balance.
+
+    @raise Invalid_argument on a negative charge. *)
+
+val charge_current : t -> int64 -> unit
+(** Charge the account selected by {!switch_to}. *)
+
+val switch_to : t -> string -> unit
+(** Select the account that subsequent {!charge_current} calls hit. *)
+
+val current : t -> string
+
+val with_account : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk with the current account temporarily switched — the pattern
+    for "this stretch of work executes inside the VMM / Dom0 / the guest".
+    Restores the previous account even on exceptions. *)
+
+val balance : t -> string -> int64
+(** Cycles charged to [name] so far; [0L] if never charged. *)
+
+val total : t -> int64
+(** Sum over all accounts. *)
+
+val busy_total : t -> int64
+(** Sum over all accounts except ["idle"]. *)
+
+val share : t -> string -> float
+(** [share t name] is [name]'s fraction of {!busy_total}, in [0,1];
+    [0.] when nothing has been charged. *)
+
+val reset : t -> unit
+val to_list : t -> (string * int64) list
+(** Non-zero balances, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type set = (string, int ref) Hashtbl.t
+
+let create_set () = Hashtbl.create 64
+
+let cell set name =
+  match Hashtbl.find_opt set name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add set name r;
+      r
+
+let incr set name = Stdlib.incr (cell set name)
+
+let add set name amount =
+  if amount < 0 then invalid_arg "Counter.add: negative amount";
+  let r = cell set name in
+  r := !r + amount
+
+let get set name = match Hashtbl.find_opt set name with Some r -> !r | None -> 0
+let reset set = Hashtbl.iter (fun _ r -> r := 0) set
+
+let to_list set =
+  Hashtbl.fold (fun name r acc -> if !r <> 0 then (name, !r) :: acc else acc) set []
+  |> List.sort compare
+
+let fold set ~init ~f =
+  List.fold_left (fun acc (name, v) -> f acc name v) init (to_list set)
+
+let matching set ~prefix =
+  let starts_with s = String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  List.filter (fun (name, _) -> starts_with name) (to_list set)
+
+let sum_matching set ~prefix =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (matching set ~prefix)
+
+let pp ppf set =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (to_list set)

@@ -1,0 +1,37 @@
+(** Named integer counters.
+
+    Kernels and device models bump counters ("ipc.rendezvous",
+    "grant.transfer", "nic.rx_irq", …); the comparison framework reads them
+    to classify events under the paper's §2.2 taxonomy. A [Counter.set] is a
+    flat namespace owned by one machine, so scenarios never share state. *)
+
+type set
+(** A namespace of counters. *)
+
+val create_set : unit -> set
+
+val incr : set -> string -> unit
+(** Bump a counter by one, creating it at zero first if needed. *)
+
+val add : set -> string -> int -> unit
+(** Bump by an arbitrary (non-negative) amount.
+
+    @raise Invalid_argument on a negative amount. *)
+
+val get : set -> string -> int
+(** Current value; [0] for a counter never touched. *)
+
+val reset : set -> unit
+(** Zero every counter (the names survive). *)
+
+val to_list : set -> (string * int) list
+(** All counters with non-zero values, sorted by name. *)
+
+val fold : set -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
+
+val matching : set -> prefix:string -> (string * int) list
+(** Counters whose name starts with [prefix], sorted by name. *)
+
+val sum_matching : set -> prefix:string -> int
+
+val pp : Format.formatter -> set -> unit

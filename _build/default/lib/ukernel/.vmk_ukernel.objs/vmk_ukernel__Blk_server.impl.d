@@ -1,0 +1,1 @@
+lib/ukernel/blk_server.ml: Array Hashtbl Option Proto Queue Sysif Vmk_hw

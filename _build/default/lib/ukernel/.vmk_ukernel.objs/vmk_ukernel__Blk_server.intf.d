@@ -1,0 +1,1 @@
+lib/ukernel/blk_server.mli: Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/costs.mli:

@@ -1,0 +1,1 @@
+lib/ukernel/kernel.ml: Array Costs Effect Hashtbl List Logs Mapdb Option Printexc Proto Queue Sysif Vmk_hw Vmk_sim Vmk_trace

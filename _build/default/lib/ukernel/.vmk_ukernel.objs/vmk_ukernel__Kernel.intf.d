@@ -1,0 +1,1 @@
+lib/ukernel/kernel.mli: Mapdb Sysif Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/mach_kernel.ml: Effect Hashtbl Logs Option Printexc Queue Vmk_hw Vmk_sim Vmk_trace

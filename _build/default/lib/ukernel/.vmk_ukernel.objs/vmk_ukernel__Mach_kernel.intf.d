@@ -1,0 +1,1 @@
+lib/ukernel/mach_kernel.mli: Effect Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/mapdb.ml: Hashtbl List Option Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/mapdb.mli: Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/net_server.ml: Option Proto Queue Sysif Vmk_hw

@@ -1,0 +1,1 @@
+lib/ukernel/net_server.mli: Vmk_hw

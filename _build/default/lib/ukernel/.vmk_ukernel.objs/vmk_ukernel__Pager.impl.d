@@ -1,0 +1,1 @@
+lib/ukernel/pager.ml: Proto Sysif

@@ -1,0 +1,1 @@
+lib/ukernel/proto.ml:

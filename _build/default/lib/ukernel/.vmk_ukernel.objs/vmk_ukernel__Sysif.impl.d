@@ -1,0 +1,1 @@
+lib/ukernel/sysif.ml: Array Effect Format List

@@ -1,0 +1,1 @@
+lib/ukernel/sysif.mli: Effect Format

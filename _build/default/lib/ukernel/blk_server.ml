@@ -1,0 +1,82 @@
+module Machine = Vmk_hw.Machine
+module Frame = Vmk_hw.Frame
+module Disk = Vmk_hw.Disk
+
+let account = "drv.blk"
+
+type inflight = { client : Sysif.tid; frame : Frame.frame; read : bool }
+
+let reply_safely dst m =
+  try Sysif.send dst m with Sysif.Ipc_error _ -> ()
+
+let body mach ?(buffers = 8) () =
+  let disk = mach.Machine.disk in
+  let free = Queue.create () in
+  for _ = 1 to buffers do
+    Queue.add
+      (Frame.alloc mach.Machine.frames ~owner:account
+         ~kind:Frame.Device_buffer ())
+      free
+  done;
+  let inflight : (int, inflight) Hashtbl.t = Hashtbl.create 16 in
+  Sysif.irq_attach Machine.disk_irq;
+  let handle_completion () =
+    let rec drain () =
+      match Disk.completed disk with
+      | Some request ->
+          Sysif.burn 70;
+          (match Hashtbl.find_opt inflight request.Disk.id with
+          | Some entry ->
+              Hashtbl.remove inflight request.Disk.id;
+              let reply =
+                if entry.read then
+                  Sysif.msg Proto.ok
+                    ~items:
+                      [
+                        Sysif.Str
+                          {
+                            bytes = request.Disk.bytes;
+                            tag = entry.frame.Frame.tag;
+                          };
+                      ]
+                else Sysif.msg Proto.ok
+              in
+              reply_safely entry.client reply;
+              Queue.add entry.frame free
+          | None -> ());
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let handle_client client (m : Sysif.msg) =
+    let w = Sysif.words m in
+    let sector = if Array.length w > 0 then w.(0) else 0 in
+    match Queue.take_opt free with
+    | None -> reply_safely client (Sysif.msg Proto.error)
+    | Some frame ->
+        Sysif.burn 90; (* request setup *)
+        if m.Sysif.label = Proto.blk_read then begin
+          let bytes = if Array.length w > 1 then w.(1) else 512 in
+          let id = Disk.submit disk Disk.Read ~sector ~frame ~bytes in
+          Hashtbl.add inflight id { client; frame; read = true }
+        end
+        else if m.Sysif.label = Proto.blk_write then begin
+          let bytes = Sysif.str_total m in
+          let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+          Frame.set_tag frame tag;
+          let id = Disk.submit disk Disk.Write ~sector ~frame ~bytes in
+          Hashtbl.add inflight id { client; frame; read = false }
+        end
+        else begin
+          Queue.add frame free;
+          reply_safely client (Sysif.msg Proto.error)
+        end
+  in
+  let rec loop () =
+    let src, m = Sysif.recv Sysif.Any in
+    if Sysif.is_irq_tid src then handle_completion ()
+    else handle_client src m;
+    loop ()
+  in
+  loop ()

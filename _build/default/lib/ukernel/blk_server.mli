@@ -1,0 +1,14 @@
+(** User-level block driver server.
+
+    Owns the disk, receives its completions as interrupt IPC, serves
+    {!Proto.blk_read}/{!Proto.blk_write} requests from client threads.
+    Clients block in their [Call] until the disk completes, so killing
+    this server (experiment E6) errors out exactly its in-flight clients. *)
+
+val body : Vmk_hw.Machine.t -> ?buffers:int -> unit -> unit
+(** Server loop; spawn with {!Kernel.spawn}. [buffers] bounds concurrent
+    in-flight requests (default 8); beyond it requests are rejected with
+    {!Proto.error}. *)
+
+val account : string
+(** ["drv.blk"]. *)

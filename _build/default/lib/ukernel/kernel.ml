@@ -1,0 +1,703 @@
+open Sysif
+module Machine = Vmk_hw.Machine
+module Arch = Vmk_hw.Arch
+module Page_table = Vmk_hw.Page_table
+module Mmu = Vmk_hw.Mmu
+module Frame = Vmk_hw.Frame
+module Irq = Vmk_hw.Irq
+module Tlb = Vmk_hw.Tlb
+module Cache = Vmk_hw.Cache
+module Accounts = Vmk_trace.Accounts
+module Counter = Vmk_trace.Counter
+module Engine = Vmk_sim.Engine
+
+let priorities = 8
+let default_priority = 4
+let kernel_account = "ukernel"
+
+type thread_state =
+  | Ready
+  | Running
+  | Blocked_send of tid
+  | Blocked_recv of recv_filter
+  | Blocked_call of tid
+  | Sleeping
+  | Dead
+
+type pending_touch = {
+  t_addr : int;
+  t_len : int;
+  t_write : bool;
+  mutable fault_vpn : int;
+}
+
+type tcb = {
+  tid : tid;
+  name : string;
+  account : string;
+  priority : int;
+  asid : int;
+  mutable pager : tid option;
+  mutable state : thread_state;
+  mutable cont : (reply, unit) Effect.Deep.continuation option;
+  mutable pending : reply;
+  mutable body : (unit -> unit) option;
+  mutable out_msg : msg option;
+  mutable wants_reply : bool;
+  mutable faulting : pending_touch option;
+  mutable burn_left : int;
+      (** Remaining user computation, consumed one timeslice per dispatch
+          (timer preemption). *)
+  mutable block_token : int;
+      (** Invalidates stale IPC-timeout events: bumped whenever the
+          thread blocks or becomes ready. *)
+  senders : tid Queue.t;
+}
+
+type t = {
+  mach : Machine.t;
+  tcbs : (tid, tcb) Hashtbl.t;
+  spaces : (int, Page_table.t) Hashtbl.t;
+  alloc_ptr : (int, int ref) Hashtbl.t;
+  mapdb : Mapdb.t;
+  queues : tcb Queue.t array;
+  irq_handlers : (int, tid) Hashtbl.t;
+  mutable next_tid : int;
+  mutable next_asid : int;
+  mutable current_asid : int;
+}
+
+type stop_reason = Idle | Condition | Dispatch_limit
+
+let machine t = t.mach
+let mapdb t = t.mapdb
+
+(* The first user page handed out by Alloc_pages; low pages are "text". *)
+let alloc_base_vpn = 0x100
+
+let create mach =
+  let spaces = Hashtbl.create 16 in
+  let install ~asid ~vpn frame ~writable =
+    match Hashtbl.find_opt spaces asid with
+    | None -> ()
+    | Some space ->
+        Page_table.map space ~vpn frame ~writable ~user:true;
+        Machine.burn mach
+          (mach.Machine.arch.Arch.pt_update_cost
+          + mach.Machine.arch.Arch.page_map_cost)
+  in
+  let remove ~asid ~vpn =
+    match Hashtbl.find_opt spaces asid with
+    | None -> ()
+    | Some space ->
+        ignore (Page_table.unmap space ~vpn);
+        Tlb.invalidate mach.Machine.tlb ~asid ~vpn;
+        Machine.burn mach mach.Machine.arch.Arch.pt_update_cost
+  in
+  {
+    mach;
+    tcbs = Hashtbl.create 32;
+    spaces;
+    alloc_ptr = Hashtbl.create 16;
+    mapdb = Mapdb.create ~install ~remove;
+    queues = Array.init priorities (fun _ -> Queue.create ());
+    irq_handlers = Hashtbl.create 8;
+    next_tid = 1;
+    next_asid = 1;
+    current_asid = 0;
+  }
+
+let find k tid = Hashtbl.find_opt k.tcbs tid
+
+let find_alive k tid =
+  match find k tid with
+  | Some tcb when tcb.state <> Dead -> Some tcb
+  | Some _ | None -> None
+
+let space_of t tid =
+  match find t tid with
+  | Some tcb -> Hashtbl.find_opt t.spaces tcb.asid
+  | None -> None
+
+let space_exn k asid =
+  match Hashtbl.find_opt k.spaces asid with
+  | Some s -> s
+  | None -> invalid_arg "Kernel: unknown address space"
+
+let enqueue k tcb = Queue.add tcb k.queues.(tcb.priority)
+
+let ready k tcb reply =
+  match tcb.state with
+  | Dead -> ()
+  | Ready -> tcb.pending <- reply
+  | Running | Blocked_send _ | Blocked_recv _ | Blocked_call _ | Sleeping ->
+      tcb.block_token <- tcb.block_token + 1;
+      tcb.pending <- reply;
+      tcb.state <- Ready;
+      enqueue k tcb
+
+let kcharged k f =
+  Accounts.with_account k.mach.Machine.accounts kernel_account f
+
+let kburn k cycles = Machine.burn k.mach cycles
+
+let fresh_space k =
+  let asid = k.next_asid in
+  k.next_asid <- k.next_asid + 1;
+  Hashtbl.add k.spaces asid (Page_table.create ~asid);
+  Hashtbl.add k.alloc_ptr asid (ref alloc_base_vpn);
+  asid
+
+let make_tcb k ~name ~priority ~pager ~account ~asid ~body =
+  if priority < 0 || priority >= priorities then
+    invalid_arg "Kernel: priority out of range";
+  let tid = k.next_tid in
+  k.next_tid <- k.next_tid + 1;
+  let tcb =
+    {
+      tid;
+      name;
+      account;
+      priority;
+      asid;
+      pager;
+      state = Ready;
+      cont = None;
+      pending = R_unit;
+      body = Some body;
+      out_msg = None;
+      wants_reply = false;
+      faulting = None;
+      burn_left = 0;
+      block_token = 0;
+      senders = Queue.create ();
+    }
+  in
+  Hashtbl.add k.tcbs tid tcb;
+  enqueue k tcb;
+  Counter.incr k.mach.Machine.counters "uk.spawn";
+  tcb
+
+let spawn k ~name ?(priority = default_priority) ?pager ?account body =
+  let account = Option.value account ~default:name in
+  let asid = fresh_space k in
+  (make_tcb k ~name ~priority ~pager ~account ~asid ~body).tid
+
+(* --- IPC transfer --- *)
+
+let filter_matches filter tid =
+  match filter with Any -> true | From x -> x = tid
+
+let transfer_cost k msg =
+  let arch = k.mach.Machine.arch in
+  let counters = k.mach.Machine.counters in
+  Counter.incr counters "uk.ipc.rendezvous";
+  let nwords = Array.length (words msg) in
+  Counter.add counters "uk.ipc.words" nwords;
+  let extra = max 0 (nwords - Costs.free_words) in
+  let bytes = str_total msg in
+  Counter.add counters "uk.ipc.bytes" bytes;
+  let icache_miss =
+    Cache.touch k.mach.Machine.icache ~region:"ipc.path"
+      ~lines:Costs.icache_lines_ipc
+  in
+  kburn k
+    (Costs.ipc_path
+    + (extra * Costs.per_extra_word)
+    + Arch.copy_cost arch ~bytes
+    + icache_miss)
+
+(* Apply the map/grant items of [msg], mapping each page either to the
+   identity vpn in the receiver's space or to an explicit window base
+   (pager replies map at the fault address). *)
+let apply_map_items k ~(src : tcb) ~(dst : tcb) ~window msg =
+  let counters = k.mach.Machine.counters in
+  List.iter
+    (fun (fpage, grant) ->
+      for i = 0 to fpage.pages - 1 do
+        let src_vpn = fpage.base_vpn + i in
+        let dst_vpn =
+          match window with `Identity -> src_vpn | `At base -> base + i
+        in
+        match
+          Mapdb.map k.mapdb ~src_asid:src.asid ~src_vpn ~dst_asid:dst.asid
+            ~dst_vpn ~writable:fpage.writable ~grant
+        with
+        | Ok () -> Counter.incr counters "uk.ipc.map_pages"
+        | Error (`Source_not_mapped | `Dest_occupied | `Self_map) ->
+            Counter.incr counters "uk.ipc.map_skipped"
+      done)
+    (map_items msg)
+
+let do_transfer k ~src ~dst ~window msg =
+  transfer_cost k msg;
+  apply_map_items k ~src ~dst ~window msg
+
+(* Arm an IPC timeout for a thread that just blocked: if it is still in
+   the same blocking episode when the deadline fires, the operation fails
+   with Timeout. Queue entries left behind are dropped lazily by the
+   stale-entry checks. *)
+let arm_ipc_timeout k (tcb : tcb) timeout =
+  match timeout with
+  | None -> ()
+  | Some cycles ->
+      tcb.block_token <- tcb.block_token + 1;
+      let token = tcb.block_token in
+      Engine.after k.mach.Machine.engine cycles (fun () ->
+          if tcb.block_token = token then
+            match tcb.state with
+            | Blocked_send _ | Blocked_recv _ | Blocked_call _ ->
+                Counter.incr k.mach.Machine.counters "uk.ipc.timeout";
+                tcb.out_msg <- None;
+                tcb.faulting <- None;
+                ready k tcb (R_error Timeout)
+            | Ready | Running | Sleeping | Dead -> ())
+
+(* --- Touch / page-fault protocol --- *)
+
+let fault_msg touch =
+  msg Proto.pagefault
+    ~items:[ Words [| touch.fault_vpn; (if touch.t_write then 1 else 0) |] ]
+
+(* Deliver [m] as the reply to [dst], which is blocked in a Call on [src].
+   A pager reply is intercepted: its map items are applied at the fault
+   window and the faulting Touch is retried instead of delivering R_msg. *)
+let rec deliver_reply k ~(src : tcb) ~(dst : tcb) m =
+  match dst.faulting with
+  | Some touch ->
+      transfer_cost k m;
+      apply_map_items k ~src ~dst ~window:(`At touch.fault_vpn) m;
+      let resolved =
+        Page_table.lookup (space_exn k dst.asid) ~vpn:touch.fault_vpn <> None
+      in
+      if resolved then run_touch k dst touch
+      else begin
+        (* The pager declined to map: fail the access rather than loop. *)
+        dst.faulting <- None;
+        ready k dst (R_error (Page_fault_unhandled touch.fault_vpn))
+      end
+  | None ->
+      do_transfer k ~src ~dst ~window:`Identity m;
+      ready k dst (R_msg (src.tid, m))
+
+and begin_send ?timeout k ~(src : tcb) ~dst_tid ~m ~wants_reply =
+  match find_alive k dst_tid with
+  | None ->
+      src.faulting <- None;
+      ready k src (R_error Dead_partner)
+  | Some dst -> begin
+      match dst.state with
+      | Blocked_call waiting_on when waiting_on = src.tid ->
+          (* Send-to-caller is the reply half of a Call (L4 style). *)
+          deliver_reply k ~src ~dst m;
+          if wants_reply then begin
+            src.state <- Blocked_call dst.tid;
+            arm_ipc_timeout k src timeout
+          end
+          else ready k src R_unit
+      | Blocked_recv filter when filter_matches filter src.tid ->
+          do_transfer k ~src ~dst ~window:`Identity m;
+          ready k dst (R_msg (src.tid, m));
+          if wants_reply then begin
+            src.state <- Blocked_call dst.tid;
+            arm_ipc_timeout k src timeout
+          end
+          else ready k src R_unit
+      | Ready | Running | Blocked_send _ | Blocked_recv _ | Blocked_call _
+      | Sleeping ->
+          src.state <- Blocked_send dst.tid;
+          src.out_msg <- Some m;
+          src.wants_reply <- wants_reply;
+          Queue.add src.tid dst.senders;
+          arm_ipc_timeout k src timeout
+      | Dead ->
+          src.faulting <- None;
+          ready k src (R_error Dead_partner)
+    end
+
+and run_touch k (tcb : tcb) touch =
+  let space = space_exn k tcb.asid in
+  let result =
+    (* Memory access time belongs to the thread, not the kernel. *)
+    Accounts.with_account k.mach.Machine.accounts tcb.account (fun () ->
+        Mmu.touch_range k.mach space ~start:touch.t_addr ~len:touch.t_len
+          ~write:touch.t_write ~user:true)
+  in
+  match result with
+  | Ok _ ->
+      tcb.faulting <- None;
+      ready k tcb R_unit
+  | Error (vpn, _fault) -> begin
+      match tcb.pager with
+      | None ->
+          tcb.faulting <- None;
+          ready k tcb (R_error (Page_fault_unhandled vpn))
+      | Some pager_tid ->
+          touch.fault_vpn <- vpn;
+          tcb.faulting <- Some touch;
+          Counter.incr k.mach.Machine.counters "uk.fault.ipc";
+          begin_send k ~src:tcb ~dst_tid:pager_tid ~m:(fault_msg touch)
+            ~wants_reply:true
+    end
+
+(* --- Receive --- *)
+
+let take_matching_sender k (tcb : tcb) filter =
+  let queued = List.of_seq (Queue.to_seq tcb.senders) in
+  Queue.clear tcb.senders;
+  let rec go kept = function
+    | [] ->
+        List.iter (fun x -> Queue.add x tcb.senders) (List.rev kept);
+        None
+    | stid :: rest -> begin
+        match find k stid with
+        | Some s
+          when (match s.state with
+               | Blocked_send d -> d = tcb.tid
+               | Ready | Running | Blocked_recv _ | Blocked_call _ | Sleeping
+               | Dead ->
+                   false)
+               && filter_matches filter stid ->
+            List.iter (fun x -> Queue.add x tcb.senders) (List.rev kept);
+            List.iter (fun x -> Queue.add x tcb.senders) rest;
+            Some s
+        | Some s
+          when match s.state with Blocked_send d -> d = tcb.tid | _ -> false ->
+            (* Valid sender, wrong filter: keep it queued. *)
+            go (stid :: kept) rest
+        | Some _ | None -> go kept rest (* stale entry: drop *)
+      end
+  in
+  go [] queued
+
+let handle_recv ?timeout k (tcb : tcb) filter =
+  match take_matching_sender k tcb filter with
+  | Some sender ->
+      let m = Option.value sender.out_msg ~default:(msg 0) in
+      sender.out_msg <- None;
+      do_transfer k ~src:sender ~dst:tcb ~window:`Identity m;
+      if sender.wants_reply then sender.state <- Blocked_call tcb.tid
+      else ready k sender R_unit;
+      ready k tcb (R_msg (sender.tid, m))
+  | None ->
+      tcb.state <- Blocked_recv filter;
+      arm_ipc_timeout k tcb timeout
+
+(* --- Reply --- *)
+
+let handle_reply_then_wait k (tcb : tcb) dst_tid m =
+  match find_alive k dst_tid with
+  | None -> ready k tcb (R_error Dead_partner)
+  | Some dst -> begin
+      match dst.state with
+      | Blocked_call waiting_on when waiting_on = tcb.tid ->
+          deliver_reply k ~src:tcb ~dst m;
+          handle_recv k tcb Any
+      | Ready | Running | Blocked_send _ | Blocked_recv _ | Blocked_call _
+      | Sleeping | Dead ->
+          ready k tcb (R_error (Bad_argument "reply-to-non-caller"))
+    end
+
+(* --- Thread termination --- *)
+
+let wake_partners k (dead : tcb) =
+  Hashtbl.iter
+    (fun _ (other : tcb) ->
+      if other != dead then
+        match other.state with
+        | Blocked_send d when d = dead.tid ->
+            other.faulting <- None;
+            other.out_msg <- None;
+            ready k other (R_error Dead_partner)
+        | Blocked_call d when d = dead.tid ->
+            other.faulting <- None;
+            ready k other (R_error Dead_partner)
+        | Blocked_recv (From x) when x = dead.tid ->
+            ready k other (R_error Dead_partner)
+        | Ready | Running | Blocked_send _ | Blocked_recv _ | Blocked_call _
+        | Sleeping | Dead ->
+            ())
+    k.tcbs
+
+let terminate k (tcb : tcb) =
+  if tcb.state <> Dead then begin
+    tcb.state <- Dead;
+    tcb.cont <- None;
+    tcb.body <- None;
+    tcb.out_msg <- None;
+    tcb.faulting <- None;
+    let lines =
+      Hashtbl.fold
+        (fun line handler acc -> if handler = tcb.tid then line :: acc else acc)
+        k.irq_handlers []
+    in
+    List.iter (Hashtbl.remove k.irq_handlers) lines;
+    wake_partners k tcb;
+    let space_alive =
+      Hashtbl.fold
+        (fun _ (o : tcb) acc ->
+          acc || (o != tcb && o.state <> Dead && o.asid = tcb.asid))
+        k.tcbs false
+    in
+    if not space_alive then
+      ignore (Mapdb.unmap_space k.mapdb ~asid:tcb.asid)
+  end
+
+let kill k tid =
+  match find k tid with
+  | Some tcb ->
+      Counter.incr k.mach.Machine.counters "uk.thread.killed";
+      terminate k tcb
+  | None -> ()
+
+let is_alive k tid = find_alive k tid <> None
+
+let state_name k tid =
+  match find k tid with
+  | None -> "missing"
+  | Some tcb -> (
+      match tcb.state with
+      | Ready -> "ready"
+      | Running -> "running"
+      | Blocked_send _ -> "blocked-send"
+      | Blocked_recv _ -> "blocked-recv"
+      | Blocked_call _ -> "blocked-call"
+      | Sleeping -> "sleeping"
+      | Dead -> "dead")
+
+let thread_count k =
+  Hashtbl.fold
+    (fun _ (tcb : tcb) acc -> if tcb.state <> Dead then acc + 1 else acc)
+    k.tcbs 0
+
+(* --- System-call dispatch --- *)
+
+let syscall_overhead k =
+  let arch = k.mach.Machine.arch in
+  kburn k
+    (arch.Arch.fast_syscall_cost + arch.Arch.kernel_exit_cost
+   + Costs.syscall_fixed)
+
+let handle_alloc_pages k (tcb : tcb) n =
+  if n <= 0 then ready k tcb (R_error (Bad_argument "alloc-pages"))
+  else begin
+    match Hashtbl.find_opt k.alloc_ptr tcb.asid with
+    | None -> ready k tcb (R_error (Bad_argument "no-space"))
+    | Some ptr -> (
+        let base_vpn = !ptr in
+        match Frame.alloc_many k.mach.Machine.frames ~owner:tcb.account n with
+        | frames ->
+            ptr := base_vpn + n;
+            List.iteri
+              (fun i frame ->
+                Mapdb.insert_root k.mapdb ~asid:tcb.asid ~vpn:(base_vpn + i)
+                  frame ~writable:true)
+              frames;
+            ready k tcb (R_fpage { base_vpn; pages = n; writable = true })
+        | exception Frame.Out_of_frames ->
+            ready k tcb (R_error (Bad_argument "out-of-memory")))
+  end
+
+let handle_syscall k (tcb : tcb) call =
+  match call with
+  | _ when tcb.state = Dead ->
+      (* Killed mid-burn by fault injection: the fiber is abandoned at its
+         next kernel entry. *)
+      ()
+  | Burn n ->
+      (* Pure user computation: no kernel entry, charged to the thread,
+         consumed in timeslices across dispatches. *)
+      tcb.burn_left <- max 0 n;
+      ready k tcb R_unit
+  | Yield ->
+      Counter.incr k.mach.Machine.counters "uk.syscall";
+      kcharged k (fun () -> syscall_overhead k);
+      ready k tcb R_unit
+  | _ ->
+      Counter.incr k.mach.Machine.counters "uk.syscall";
+      kcharged k (fun () ->
+          syscall_overhead k;
+          match call with
+          | Burn _ | Yield -> assert false
+          | Send (dst, m, timeout) ->
+              begin_send ?timeout k ~src:tcb ~dst_tid:dst ~m ~wants_reply:false
+          | Call (dst, m, timeout) ->
+              begin_send ?timeout k ~src:tcb ~dst_tid:dst ~m ~wants_reply:true
+          | Recv (filter, timeout) -> handle_recv ?timeout k tcb filter
+          | Reply_wait (dst, m) -> handle_reply_then_wait k tcb dst m
+          | Sleep cycles ->
+              tcb.state <- Sleeping;
+              Engine.after k.mach.Machine.engine cycles (fun () ->
+                  if tcb.state = Sleeping then ready k tcb R_unit)
+          | Exit -> terminate k tcb
+          | My_tid -> ready k tcb (R_tid tcb.tid)
+          | Spawn spec ->
+              let asid = if spec.same_space then tcb.asid else fresh_space k in
+              let child =
+                make_tcb k ~name:spec.name ~priority:spec.priority
+                  ~pager:spec.pager ~account:tcb.account ~asid ~body:spec.body
+              in
+              ready k tcb (R_tid child.tid)
+          | Alloc_pages n -> handle_alloc_pages k tcb n
+          | Touch { addr; len; write } ->
+              run_touch k tcb { t_addr = addr; t_len = len; t_write = write; fault_vpn = -1 }
+          | Unmap fpage ->
+              let removed = ref 0 in
+              for i = 0 to fpage.pages - 1 do
+                removed :=
+                  !removed
+                  + Mapdb.unmap k.mapdb ~asid:tcb.asid ~vpn:(fpage.base_vpn + i)
+                      ~self:false
+              done;
+              Counter.add k.mach.Machine.counters "uk.unmap.pages" !removed;
+              ready k tcb R_unit
+          | Irq_attach line ->
+              if line < 0 || line >= Irq.lines k.mach.Machine.irq then
+                ready k tcb (R_error (Bad_argument "irq-line"))
+              else begin
+                Hashtbl.replace k.irq_handlers line tcb.tid;
+                ready k tcb R_unit
+              end
+          | Irq_detach line ->
+              (match Hashtbl.find_opt k.irq_handlers line with
+              | Some h when h = tcb.tid -> Hashtbl.remove k.irq_handlers line
+              | Some _ | None -> ());
+              ready k tcb R_unit
+          | Set_pager pager ->
+              tcb.pager <- Some pager;
+              ready k tcb R_unit)
+
+(* --- Fibers --- *)
+
+let start_fiber k (tcb : tcb) body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> terminate k tcb);
+      exnc =
+        (fun exn ->
+          Counter.incr k.mach.Machine.counters "uk.thread.crashed";
+          Logs.debug (fun m ->
+              m "ukernel: thread %s crashed: %s" tcb.name
+                (Printexc.to_string exn));
+          terminate k tcb);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Invoke call ->
+              Some
+                (fun (kont : (a, unit) continuation) ->
+                  tcb.cont <- Some kont;
+                  handle_syscall k tcb call)
+          | _ -> None);
+    }
+
+(* --- Interrupt delivery --- *)
+
+let irq_message line = msg Proto.interrupt ~items:[ Words [| line |] ]
+
+let deliver_irqs k =
+  let irq = k.mach.Machine.irq in
+  for line = 0 to Irq.lines irq - 1 do
+    match Hashtbl.find_opt k.irq_handlers line with
+    | Some handler_tid
+      when Irq.is_pending irq line && not (Irq.is_masked irq line) -> begin
+        (* Deliverability: line pending and the handler is receptive. *)
+        match find_alive k handler_tid with
+        | Some handler -> begin
+            match handler.state with
+            | Blocked_recv filter when filter_matches filter (irq_tid line) ->
+                Irq.ack irq line;
+                let arch = k.mach.Machine.arch in
+                kcharged k (fun () ->
+                    kburn k
+                      (arch.Arch.irq_entry_cost + Costs.irq_to_ipc
+                     + arch.Arch.irq_eoi_cost));
+                Counter.incr k.mach.Machine.counters "uk.irq.delivered";
+                ready k handler (R_msg (irq_tid line, irq_message line))
+            | Ready | Running | Blocked_send _ | Blocked_recv _
+            | Blocked_call _ | Sleeping | Dead ->
+                ()
+          end
+        | None -> ()
+      end
+    | Some _ | None -> ()
+  done
+
+(* --- Scheduling --- *)
+
+let rec pick_from_queue q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some tcb when tcb.state = Ready -> Some tcb
+  | Some _ -> pick_from_queue q
+
+let pick k =
+  let rec scan prio =
+    if prio >= priorities then None
+    else
+      match pick_from_queue k.queues.(prio) with
+      | Some tcb -> Some tcb
+      | None -> scan (prio + 1)
+  in
+  scan 0
+
+(* Timer-tick quantum for user computation. *)
+let timeslice = 5_000
+
+let dispatch k (tcb : tcb) =
+  if tcb.asid <> k.current_asid then begin
+    kcharged k (fun () -> Mmu.switch_space k.mach (space_exn k tcb.asid));
+    k.current_asid <- tcb.asid;
+    Counter.incr k.mach.Machine.counters "uk.space_switch"
+  end;
+  tcb.state <- Running;
+  Accounts.switch_to k.mach.Machine.accounts tcb.account;
+  if tcb.burn_left > 0 then begin
+    let step = min timeslice tcb.burn_left in
+    Machine.burn k.mach step;
+    tcb.burn_left <- tcb.burn_left - step;
+    if tcb.state = Running then begin
+      tcb.state <- Ready;
+      enqueue k tcb
+    end
+  end
+  else
+    match tcb.body with
+  | Some body ->
+      tcb.body <- None;
+      start_fiber k tcb body
+  | None -> (
+      match tcb.cont with
+      | Some kont ->
+          tcb.cont <- None;
+          Effect.Deep.continue kont tcb.pending
+      | None ->
+          (* A ready thread with no continuation and no body can only be a
+             bookkeeping bug. *)
+          terminate k tcb)
+
+let run ?until ?(max_dispatches = 10_000_000) k =
+  let dispatches = ref 0 in
+  let stop_requested () =
+    match until with Some f -> f () | None -> false
+  in
+  let rec loop () =
+    if stop_requested () then Condition
+    else begin
+      deliver_irqs k;
+      match pick k with
+      | Some tcb ->
+          if !dispatches >= max_dispatches then Dispatch_limit
+          else begin
+            incr dispatches;
+            dispatch k tcb;
+            loop ()
+          end
+      | None ->
+          if Engine.idle_to_next k.mach.Machine.engine then loop () else Idle
+    end
+  in
+  let reason = loop () in
+  Accounts.switch_to k.mach.Machine.accounts "idle";
+  reason

@@ -1,0 +1,113 @@
+type node = {
+  asid : int;
+  vpn : int;
+  frame : Vmk_hw.Frame.frame;
+  writable : bool;
+  mutable parent : node option;
+  mutable children : node list;
+}
+
+type t = {
+  install : asid:int -> vpn:int -> Vmk_hw.Frame.frame -> writable:bool -> unit;
+  remove : asid:int -> vpn:int -> unit;
+  nodes : (int * int, node) Hashtbl.t;
+}
+
+let create ~install ~remove = { install; remove; nodes = Hashtbl.create 128 }
+
+let insert_root t ~asid ~vpn frame ~writable =
+  if Hashtbl.mem t.nodes (asid, vpn) then
+    invalid_arg "Mapdb.insert_root: page already mapped";
+  let node = { asid; vpn; frame; writable; parent = None; children = [] } in
+  Hashtbl.add t.nodes (asid, vpn) node;
+  t.install ~asid ~vpn frame ~writable
+
+let detach_from_parent node =
+  match node.parent with
+  | None -> ()
+  | Some p -> p.children <- List.filter (fun c -> c != node) p.children
+
+let map t ~src_asid ~src_vpn ~dst_asid ~dst_vpn ~writable ~grant =
+  if src_asid = dst_asid && src_vpn = dst_vpn then Error `Self_map
+  else
+    match Hashtbl.find_opt t.nodes (src_asid, src_vpn) with
+    | None -> Error `Source_not_mapped
+    | Some src ->
+        if Hashtbl.mem t.nodes (dst_asid, dst_vpn) then Error `Dest_occupied
+        else begin
+          let writable = writable && src.writable in
+          let node =
+            {
+              asid = dst_asid;
+              vpn = dst_vpn;
+              frame = src.frame;
+              writable;
+              parent = None;
+              children = [];
+            }
+          in
+          if grant then begin
+            (* The destination takes the source's place in the tree. *)
+            node.parent <- src.parent;
+            (match src.parent with
+            | Some p -> p.children <- node :: List.filter (fun c -> c != src) p.children
+            | None -> ());
+            node.children <- src.children;
+            List.iter (fun c -> c.parent <- Some node) src.children;
+            Hashtbl.remove t.nodes (src_asid, src_vpn);
+            t.remove ~asid:src_asid ~vpn:src_vpn
+          end
+          else begin
+            node.parent <- Some src;
+            src.children <- node :: src.children
+          end;
+          Hashtbl.add t.nodes (dst_asid, dst_vpn) node;
+          t.install ~asid:dst_asid ~vpn:dst_vpn src.frame ~writable;
+          Ok ()
+        end
+
+let rec remove_subtree t node ~count =
+  List.iter (fun c -> remove_subtree t c ~count) node.children;
+  node.children <- [];
+  Hashtbl.remove t.nodes (node.asid, node.vpn);
+  t.remove ~asid:node.asid ~vpn:node.vpn;
+  incr count
+
+let unmap t ~asid ~vpn ~self =
+  match Hashtbl.find_opt t.nodes (asid, vpn) with
+  | None -> 0
+  | Some node ->
+      let count = ref 0 in
+      List.iter (fun c -> remove_subtree t c ~count) node.children;
+      node.children <- [];
+      if self then begin
+        detach_from_parent node;
+        Hashtbl.remove t.nodes (asid, vpn);
+        t.remove ~asid ~vpn;
+        incr count
+      end;
+      !count
+
+let unmap_space t ~asid =
+  let victims =
+    Hashtbl.fold
+      (fun (a, vpn) _ acc -> if a = asid then vpn :: acc else acc)
+      t.nodes []
+  in
+  List.fold_left
+    (fun acc vpn -> acc + unmap t ~asid ~vpn ~self:true)
+    0 victims
+
+let lookup t ~asid ~vpn =
+  Option.map (fun n -> n.frame) (Hashtbl.find_opt t.nodes (asid, vpn))
+
+let mapping_count t = Hashtbl.length t.nodes
+
+let depth t ~asid ~vpn =
+  match Hashtbl.find_opt t.nodes (asid, vpn) with
+  | None -> None
+  | Some node ->
+      let rec up node acc =
+        match node.parent with None -> acc | Some p -> up p (acc + 1)
+      in
+      Some (up node 0)

@@ -1,0 +1,49 @@
+(** Mapping database: who mapped which page to whom.
+
+    Tracks the delegation tree per physical page so that [unmap] can
+    recursively revoke a mapping from every space that received it,
+    directly or transitively — the resource-delegation third of the IPC
+    primitive. The database does not touch page tables itself; the kernel
+    supplies [install]/[remove] callbacks so PTE manipulation (and its
+    cost charging) stays in one place. *)
+
+type t
+
+val create :
+  install:(asid:int -> vpn:int -> Vmk_hw.Frame.frame -> writable:bool -> unit) ->
+  remove:(asid:int -> vpn:int -> unit) ->
+  t
+
+val insert_root : t -> asid:int -> vpn:int -> Vmk_hw.Frame.frame -> writable:bool -> unit
+(** Record (and install) an initial mapping with no parent — fresh memory
+    handed out by the kernel's allocator.
+
+    @raise Invalid_argument if [(asid, vpn)] already holds a mapping. *)
+
+val map :
+  t ->
+  src_asid:int ->
+  src_vpn:int ->
+  dst_asid:int ->
+  dst_vpn:int ->
+  writable:bool ->
+  grant:bool ->
+  (unit, [ `Source_not_mapped | `Dest_occupied | `Self_map ]) result
+(** Delegate the page at [(src_asid, src_vpn)] to [(dst_asid, dst_vpn)].
+    [writable] may only downgrade the source's rights. With [grant] the
+    source loses its own mapping and the destination inherits its place in
+    the tree. *)
+
+val unmap : t -> asid:int -> vpn:int -> self:bool -> int
+(** Revoke all mappings derived from [(asid, vpn)]; with [self] also remove
+    the mapping itself. Returns the number of mappings removed. Unknown
+    pages revoke nothing. *)
+
+val unmap_space : t -> asid:int -> int
+(** Remove every mapping in the given space (space destruction), revoking
+    descendants mapped onward from it. Returns mappings removed. *)
+
+val lookup : t -> asid:int -> vpn:int -> Vmk_hw.Frame.frame option
+val mapping_count : t -> int
+val depth : t -> asid:int -> vpn:int -> int option
+(** Delegation depth: roots are 0, a page mapped from a root is 1, … *)

@@ -1,0 +1,99 @@
+module Machine = Vmk_hw.Machine
+module Frame = Vmk_hw.Frame
+module Nic = Vmk_hw.Nic
+
+let account = "drv.net"
+
+type state = {
+  mach : Machine.t;
+  free_tx : Frame.frame Queue.t;
+  rx_packets : (int * int) Queue.t; (* tag, len *)
+  rx_waiters : Sysif.tid Queue.t;
+}
+
+let reply_safely dst m =
+  try Sysif.send dst m with Sysif.Ipc_error _ -> ()
+
+let flush_rx st =
+  (* Pair queued packets with waiting clients. *)
+  let rec go () =
+    if (not (Queue.is_empty st.rx_packets)) && not (Queue.is_empty st.rx_waiters)
+    then begin
+      let tag, len = Queue.take st.rx_packets in
+      let client = Queue.take st.rx_waiters in
+      reply_safely client
+        (Sysif.msg Proto.ok ~items:[ Sysif.Str { bytes = len; tag } ]);
+      go ()
+    end
+  in
+  go ()
+
+let handle_irq st =
+  let nic = st.mach.Machine.nic in
+  let rec drain_rx () =
+    match Nic.rx_ready nic with
+    | Some ev ->
+        (* Record the packet and immediately recycle the buffer: the
+           driver touches descriptor rings, costing a few cycles. *)
+        Sysif.burn 900;
+        Queue.add (ev.Nic.tag, ev.Nic.len) st.rx_packets;
+        Nic.post_rx_buffer nic ev.Nic.frame;
+        drain_rx ()
+    | None -> ()
+  in
+  let rec drain_tx () =
+    match Nic.tx_done nic with
+    | Some (frame, _len) ->
+        Sysif.burn 700;
+        Queue.add frame st.free_tx;
+        drain_tx ()
+    | None -> ()
+  in
+  drain_rx ();
+  drain_tx ();
+  flush_rx st
+
+let handle_client st client (m : Sysif.msg) =
+  if m.Sysif.label = Proto.net_send then begin
+    let bytes = Sysif.str_total m in
+    let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+    match Queue.take_opt st.free_tx with
+    | Some frame ->
+        Sysif.burn 700; (* descriptor setup + tx path *)
+        Frame.set_tag frame tag;
+        Nic.submit_tx st.mach.Machine.nic frame ~len:bytes;
+        reply_safely client (Sysif.msg Proto.ok)
+    | None -> reply_safely client (Sysif.msg Proto.error)
+  end
+  else if m.Sysif.label = Proto.net_recv then begin
+    Queue.add client st.rx_waiters;
+    flush_rx st
+  end
+  else reply_safely client (Sysif.msg Proto.error)
+
+let body mach ?(rx_buffers = 16) () =
+  let st =
+    {
+      mach;
+      free_tx = Queue.create ();
+      rx_packets = Queue.create ();
+      rx_waiters = Queue.create ();
+    }
+  in
+  let frames = mach.Machine.frames in
+  for _ = 1 to rx_buffers do
+    Nic.post_rx_buffer mach.Machine.nic
+      (Frame.alloc frames ~owner:account ~kind:Frame.Device_buffer ())
+  done;
+  for _ = 1 to rx_buffers do
+    Queue.add
+      (Frame.alloc frames ~owner:account ~kind:Frame.Device_buffer ())
+      st.free_tx
+  done;
+  Sysif.irq_attach Machine.nic_irq;
+  let rec loop () =
+    let src, m = Sysif.recv Sysif.Any in
+    if Sysif.is_irq_tid src then handle_irq st else handle_client st src m;
+    loop ()
+  in
+  loop ()

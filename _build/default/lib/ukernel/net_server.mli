@@ -1,0 +1,18 @@
+(** User-level network driver server.
+
+    The microkernel answer to Xen's Dom0 netback: an unprivileged thread
+    that owns the NIC, receives its interrupts as IPC, and serves clients
+    over the same IPC primitive used for everything else. Clients send
+    {!Proto.net_send} with a string item, or {!Proto.net_recv} and block
+    until a packet arrives.
+
+    DMA buffers are allocated straight from the frame table (device
+    memory), outside the paging game. *)
+
+val body : Vmk_hw.Machine.t -> ?rx_buffers:int -> unit -> unit
+(** Server loop; spawn with {!Kernel.spawn}. Posts [rx_buffers] (default
+    16) receive buffers and keeps the NIC topped up. *)
+
+val account : string
+(** Cycle account the server's work should be charged to: ["drv.net"].
+    Pass as [?account] when spawning. *)

@@ -1,0 +1,27 @@
+let served_count = ref 0
+let served () = !served_count
+
+let body ~pool_pages () =
+  served_count := 0;
+  let pool = Sysif.alloc_pages pool_pages in
+  let next = ref 0 in
+  let rec loop (incoming : Sysif.tid * Sysif.msg) =
+    let faulter, m = incoming in
+    let reply =
+      if m.Sysif.label = Proto.pagefault && !next < pool_pages then begin
+        let page = pool.Sysif.base_vpn + !next in
+        incr next;
+        incr served_count;
+        Sysif.msg Proto.ok
+          ~items:
+            [ Sysif.Map { fpage = { base_vpn = page; pages = 1; writable = true }; grant = false } ]
+      end
+      else Sysif.msg Proto.error
+    in
+    match Sysif.reply_wait faulter reply with
+    | next_incoming -> loop next_incoming
+    | exception Sysif.Ipc_error _ ->
+        (* Faulter died while we were handling it; keep serving. *)
+        loop (Sysif.recv Sysif.Any)
+  in
+  loop (Sysif.recv Sysif.Any)

@@ -1,0 +1,21 @@
+(** Message-label conventions shared by kernel, servers and clients. *)
+
+val pagefault : int
+(** Label of kernel-synthesised page-fault IPC to a pager. The message
+    carries [\[| vpn; write |\]]. *)
+
+val interrupt : int
+(** Label of kernel-synthesised interrupt IPC. Carries [\[| line |\]]. *)
+
+(** {1 Driver-server protocol labels} *)
+
+val net_send : int
+val net_recv : int
+val blk_read : int
+val blk_write : int
+val ok : int
+val error : int
+
+(** {1 Guest-kernel (L4Linux analog) protocol} *)
+
+val guest_syscall : int

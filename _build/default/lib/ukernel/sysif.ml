@@ -1,0 +1,143 @@
+type tid = int
+
+let irq_tid line = -(line + 1)
+let is_irq_tid tid = tid < 0
+let line_of_irq_tid tid = -tid - 1
+
+type fpage = { base_vpn : int; pages : int; writable : bool }
+
+type item =
+  | Words of int array
+  | Str of { bytes : int; tag : int }
+  | Map of { fpage : fpage; grant : bool }
+
+type msg = { label : int; items : item list }
+
+let msg ?(items = []) label = { label; items }
+
+let words m =
+  List.fold_left
+    (fun acc item ->
+      match item with Words w -> Array.append acc w | Str _ | Map _ -> acc)
+    [||] m.items
+
+let str_total m =
+  List.fold_left
+    (fun acc item ->
+      match item with Str { bytes; _ } -> acc + bytes | Words _ | Map _ -> acc)
+    0 m.items
+
+let first_str_tag m =
+  List.find_map
+    (function Str { tag; _ } -> Some tag | Words _ | Map _ -> None)
+    m.items
+
+let map_items m =
+  List.filter_map
+    (function Map { fpage; grant } -> Some (fpage, grant) | Words _ | Str _ -> None)
+    m.items
+
+type recv_filter = Any | From of tid
+
+type error =
+  | Dead_partner
+  | Not_permitted
+  | Bad_argument of string
+  | Page_fault_unhandled of int
+  | Killed
+  | Timeout
+
+type spawn_spec = {
+  name : string;
+  priority : int;
+  same_space : bool;
+  pager : tid option;
+  body : unit -> unit;
+}
+
+type call =
+  | Burn of int
+  | Send of tid * msg * int64 option
+  | Recv of recv_filter * int64 option
+  | Call of tid * msg * int64 option
+  | Reply_wait of tid * msg
+  | Yield
+  | Sleep of int64
+  | Exit
+  | My_tid
+  | Spawn of spawn_spec
+  | Alloc_pages of int
+  | Touch of { addr : int; len : int; write : bool }
+  | Unmap of fpage
+  | Irq_attach of int
+  | Irq_detach of int
+  | Set_pager of tid
+
+type reply =
+  | R_unit
+  | R_tid of tid
+  | R_msg of tid * msg
+  | R_fpage of fpage
+  | R_error of error
+
+type _ Effect.t += Invoke : call -> reply Effect.t
+
+exception Ipc_error of error
+exception Killed_by_kernel
+
+let invoke c = Effect.perform (Invoke c)
+
+let expect_unit = function
+  | R_unit -> ()
+  | R_error e -> raise (Ipc_error e)
+  | R_tid _ | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let expect_msg = function
+  | R_msg (src, m) -> (src, m)
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_tid _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let burn n = expect_unit (invoke (Burn n))
+let send ?timeout dst m = expect_unit (invoke (Send (dst, m, timeout)))
+let recv ?timeout filter = expect_msg (invoke (Recv (filter, timeout)))
+let call ?timeout dst m = expect_msg (invoke (Call (dst, m, timeout)))
+let reply_wait dst m = expect_msg (invoke (Reply_wait (dst, m)))
+let yield () = expect_unit (invoke Yield)
+let sleep cycles = expect_unit (invoke (Sleep cycles))
+
+let exit () =
+  ignore (invoke Exit);
+  (* The kernel never resumes an exited thread. *)
+  assert false
+
+let my_tid () =
+  match invoke My_tid with
+  | R_tid tid -> tid
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let spawn spec =
+  match invoke (Spawn spec) with
+  | R_tid tid -> tid
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let alloc_pages n =
+  match invoke (Alloc_pages n) with
+  | R_fpage fp -> fp
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_tid _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let touch ~addr ~len ~write = expect_unit (invoke (Touch { addr; len; write }))
+let unmap fp = expect_unit (invoke (Unmap fp))
+let irq_attach line = expect_unit (invoke (Irq_attach line))
+let irq_detach line = expect_unit (invoke (Irq_detach line))
+let set_pager tid = expect_unit (invoke (Set_pager tid))
+
+let pp_error ppf = function
+  | Dead_partner -> Format.pp_print_string ppf "dead-partner"
+  | Not_permitted -> Format.pp_print_string ppf "not-permitted"
+  | Bad_argument what -> Format.fprintf ppf "bad-argument(%s)" what
+  | Page_fault_unhandled vpn -> Format.fprintf ppf "unhandled-fault(vpn %d)" vpn
+  | Killed -> Format.pp_print_string ppf "killed"
+  | Timeout -> Format.pp_print_string ppf "timeout"

@@ -1,0 +1,124 @@
+(** The microkernel system-call interface.
+
+    Following Liedtke, the kernel exposes one central primitive — IPC —
+    which unifies the three §2.2 roles: control transfer (the rendezvous),
+    data transfer (untyped words and string items) and resource delegation
+    (map/grant items). Threads are OCaml-5 fibers; a system call is the
+    single monomorphic effect {!Invoke}, so the kernel can store one
+    continuation type per TCB.
+
+    User code calls the wrappers in this module; each performs {!Invoke}
+    and decodes the {!reply}. *)
+
+type tid = int
+(** Thread identifier. Non-negative for real threads; interrupt lines get
+    pseudo-tids (see {!irq_tid}). *)
+
+val irq_tid : int -> tid
+(** Pseudo-tid that IPC from interrupt line [n] appears to come from. *)
+
+val is_irq_tid : tid -> bool
+val line_of_irq_tid : tid -> int
+
+type fpage = { base_vpn : int; pages : int; writable : bool }
+(** A flexpage: [pages] virtual pages starting at [base_vpn]. *)
+
+type item =
+  | Words of int array
+      (** Untyped words, transferred in (virtual) registers. *)
+  | Str of { bytes : int; tag : int }
+      (** String item: [bytes] copied by the kernel; [tag] is the content
+          stand-in that arrives in the receiver's buffer. *)
+  | Map of { fpage : fpage; grant : bool }
+      (** Delegate the sender's pages to the receiver (grant = move). *)
+
+type msg = { label : int; items : item list }
+
+val msg : ?items:item list -> int -> msg
+(** [msg ~items label] builds a message. *)
+
+val words : msg -> int array
+(** Concatenated untyped words of a message ([||] if none). *)
+
+val str_total : msg -> int
+(** Total bytes across string items. *)
+
+val first_str_tag : msg -> int option
+val map_items : msg -> (fpage * bool) list
+
+type recv_filter = Any | From of tid
+
+type error =
+  | Dead_partner  (** Peer thread does not exist or died. *)
+  | Not_permitted
+  | Bad_argument of string
+  | Page_fault_unhandled of int  (** Faulting vpn, no pager to ask. *)
+  | Killed  (** The operation was aborted because this thread was killed. *)
+  | Timeout  (** The IPC timeout elapsed before a rendezvous. *)
+
+type spawn_spec = {
+  name : string;
+  priority : int;  (** 0 = highest; see {!Kernel}. *)
+  same_space : bool;  (** Share the spawner's address space. *)
+  pager : tid option;
+  body : unit -> unit;
+}
+
+type call =
+  | Burn of int  (** Compute for n cycles (also the preemption point). *)
+  | Send of tid * msg * int64 option  (** Optional rendezvous timeout. *)
+  | Recv of recv_filter * int64 option
+  | Call of tid * msg * int64 option
+      (** Send, then block for the reply; the timeout covers the whole
+          round trip. *)
+  | Reply_wait of tid * msg  (** Reply to a caller, then receive. *)
+  | Yield
+  | Sleep of int64
+  | Exit
+  | My_tid
+  | Spawn of spawn_spec
+  | Alloc_pages of int
+      (** Root-memory delegation (the sigma0 shortcut): map [n] fresh
+          frames into the caller's space; returns the fpage. *)
+  | Touch of { addr : int; len : int; write : bool }
+      (** Access memory; faults go to the pager via the IPC protocol. *)
+  | Unmap of fpage  (** Recursively revoke the pages from all mappees. *)
+  | Irq_attach of int  (** Become handler for interrupt line n. *)
+  | Irq_detach of int
+  | Set_pager of tid
+
+type reply =
+  | R_unit
+  | R_tid of tid
+  | R_msg of tid * msg  (** Sender (or caller) and the transferred message. *)
+  | R_fpage of fpage
+  | R_error of error
+
+type _ Effect.t += Invoke : call -> reply Effect.t
+
+exception Ipc_error of error
+(** Raised by the wrappers below on [R_error]. *)
+
+exception Killed_by_kernel
+(** Delivered into a fiber that the kernel (or fault injector) kills. *)
+
+(** {1 User-side wrappers} *)
+
+val burn : int -> unit
+val send : ?timeout:int64 -> tid -> msg -> unit
+val recv : ?timeout:int64 -> recv_filter -> tid * msg
+val call : ?timeout:int64 -> tid -> msg -> tid * msg
+val reply_wait : tid -> msg -> tid * msg
+val yield : unit -> unit
+val sleep : int64 -> unit
+val exit : unit -> 'a
+val my_tid : unit -> tid
+val spawn : spawn_spec -> tid
+val alloc_pages : int -> fpage
+val touch : addr:int -> len:int -> write:bool -> unit
+val unmap : fpage -> unit
+val irq_attach : int -> unit
+val irq_detach : int -> unit
+val set_pager : tid -> unit
+
+val pp_error : Format.formatter -> error -> unit

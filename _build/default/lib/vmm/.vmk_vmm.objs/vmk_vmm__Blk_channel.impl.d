@@ -1,0 +1,1 @@
+lib/vmm/blk_channel.ml: Hcall Printf Ring

@@ -1,0 +1,1 @@
+lib/vmm/blkback.ml: Blk_channel Hashtbl Hcall Option Ring Vmk_hw Vmk_trace

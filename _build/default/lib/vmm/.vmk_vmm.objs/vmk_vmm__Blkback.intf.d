@@ -1,0 +1,1 @@
+lib/vmm/blkback.mli: Blk_channel Hcall Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/blkfront.ml: Blk_channel Evt_mux Hashtbl Hcall List Queue Ring Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/blkfront.mli: Blk_channel Evt_mux Hcall Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/costs.ml: List

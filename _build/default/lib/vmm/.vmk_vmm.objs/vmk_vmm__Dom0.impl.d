@@ -1,0 +1,1 @@
+lib/vmm/dom0.ml: Blkback Evt_mux Hcall List Netback Vmk_hw Vmk_trace

@@ -1,0 +1,1 @@
+lib/vmm/dom0.mli: Blk_channel Net_channel Vmk_hw

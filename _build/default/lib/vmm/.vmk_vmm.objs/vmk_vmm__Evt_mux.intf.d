@@ -1,0 +1,1 @@
+lib/vmm/evt_mux.mli: Hcall

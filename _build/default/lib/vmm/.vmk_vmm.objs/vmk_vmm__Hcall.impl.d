@@ -1,0 +1,1 @@
+lib/vmm/hcall.ml: Effect Format Vmk_hw

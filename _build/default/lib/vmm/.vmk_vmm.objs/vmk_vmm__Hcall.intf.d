@@ -1,0 +1,1 @@
+lib/vmm/hcall.mli: Effect Format Vmk_hw

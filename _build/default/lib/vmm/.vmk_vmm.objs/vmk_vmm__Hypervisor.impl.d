@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.ml: Costs Effect Hashtbl Hcall Int64 List Logs Option Printexc String Vmk_hw Vmk_sim Vmk_trace

@@ -1,0 +1,1 @@
+lib/vmm/hypervisor.mli: Hcall Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/net_channel.ml: Hcall Printf Ring Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/net_channel.mli: Hcall Ring Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/netback.ml: Hashtbl Hcall List Net_channel Option Queue Ring Vmk_hw Vmk_trace

@@ -1,0 +1,1 @@
+lib/vmm/netback.mli: Hcall Net_channel Vmk_hw

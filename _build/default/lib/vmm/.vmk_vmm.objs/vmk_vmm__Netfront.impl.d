@@ -1,0 +1,1 @@
+lib/vmm/netfront.ml: Hashtbl Hcall List Net_channel Queue Ring Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/netfront.mli: Hcall Net_channel Vmk_hw

@@ -1,0 +1,1 @@
+lib/vmm/parallax.ml: Blk_channel Blkfront Evt_mux Hcall List Option Queue Ring Vmk_hw Vmk_trace

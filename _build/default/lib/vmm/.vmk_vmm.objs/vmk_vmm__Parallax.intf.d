@@ -1,0 +1,1 @@
+lib/vmm/parallax.mli: Blk_channel Hcall Vmk_hw

@@ -1,0 +1,34 @@
+type op = Read | Write
+
+type req = { id : int; op : op; sector : int; gref : Hcall.gref; bytes : int }
+type resp = { r_id : int; ok : bool }
+
+type t = {
+  ring : (req, resp) Ring.t;
+  key : string;
+  mutable front_dom : Hcall.domid option;
+  mutable offer_port : Hcall.port option;
+  mutable front_port : Hcall.port option;
+  mutable back_port : Hcall.port option;
+}
+
+let next_key = ref 0
+
+let create ?(ring_size = 32) ?key () =
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        incr next_key;
+        Printf.sprintf "device/blk/%d" !next_key
+  in
+  {
+    ring = Ring.create ~capacity:ring_size ();
+    key;
+    front_dom = None;
+    offer_port = None;
+    front_port = None;
+    back_port = None;
+  }
+
+let ring_cost = 25

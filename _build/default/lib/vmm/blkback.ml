@@ -1,0 +1,80 @@
+module Frame = Vmk_hw.Frame
+module Machine = Vmk_hw.Machine
+module Disk = Vmk_hw.Disk
+module Counter = Vmk_trace.Counter
+
+let per_request_work = 360
+
+type pending = { ring_id : int; gref : Hcall.gref }
+
+type t = {
+  chan : Blk_channel.t;
+  mach : Machine.t;
+  front : Hcall.domid;
+  my_port : Hcall.port;
+  inflight : (int, pending) Hashtbl.t;  (** disk request id -> pending *)
+  mutable served : int;
+}
+
+let connect chan mach () =
+  let key = chan.Blk_channel.key in
+  let front =
+    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-dom")))
+  in
+  let offer =
+    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-port")))
+  in
+  let my_port = Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer in
+  chan.Blk_channel.back_port <- Some my_port;
+  Hcall.xs_write ~path:(key ^ "/backend-port") ~value:(string_of_int my_port);
+  { chan; mach; front; my_port; inflight = Hashtbl.create 16; served = 0 }
+
+let port t = t.my_port
+let frontend t = t.front
+
+let notify t = try Hcall.evtchn_send t.my_port with Hcall.Hcall_error _ -> ()
+
+let respond t ring_id ok =
+  Hcall.burn Blk_channel.ring_cost;
+  ignore
+    (Ring.push_response t.chan.Blk_channel.ring { Blk_channel.r_id = ring_id; ok });
+  notify t
+
+let handle_event t =
+  let rec drain () =
+    match Ring.pop_request t.chan.Blk_channel.ring with
+    | Some { Blk_channel.id; op; sector; gref; bytes } -> begin
+        Hcall.burn (Blk_channel.ring_cost + per_request_work);
+        match Hcall.grant_map ~dom:t.front ~gref with
+        | frame ->
+            let disk_op =
+              match op with
+              | Blk_channel.Read -> Disk.Read
+              | Blk_channel.Write -> Disk.Write
+            in
+            let disk_id =
+              Disk.submit t.mach.Machine.disk disk_op ~sector ~frame ~bytes
+            in
+            Hashtbl.replace t.inflight disk_id { ring_id = id; gref };
+            Counter.incr t.mach.Machine.counters "blkback.requests";
+            drain ()
+        | exception Hcall.Hcall_error _ ->
+            respond t id false;
+            drain ()
+      end
+    | None -> ()
+  in
+  drain ()
+
+let try_complete t (request : Disk.request) =
+  match Hashtbl.find_opt t.inflight request.Disk.id with
+  | Some { ring_id; gref } ->
+      Hashtbl.remove t.inflight request.Disk.id;
+      Hcall.burn per_request_work;
+      (try Hcall.grant_unmap ~dom:t.front ~gref with Hcall.Hcall_error _ -> ());
+      respond t ring_id true;
+      t.served <- t.served + 1;
+      true
+  | None -> false
+
+let requests_served t = t.served

@@ -1,0 +1,25 @@
+(** Dom0-side block backend.
+
+    Grant-maps the guest's data buffer and lets the disk DMA directly
+    to/from it (zero-copy), completing the ring request when the disk
+    interrupt arrives. Per-request Dom0 work is constant; the disk does
+    the byte moving. *)
+
+type t
+
+val connect : Blk_channel.t -> Vmk_hw.Machine.t -> unit -> t
+(** Backend half of the handshake (spins until the frontend published its
+    port). *)
+
+val port : t -> Hcall.port
+val frontend : t -> Hcall.domid
+
+val handle_event : t -> unit
+(** Pull requests from the ring and submit them to the disk. *)
+
+val try_complete : t -> Vmk_hw.Disk.request -> bool
+(** Offer a finished disk request; [true] if it belonged to this backend
+    (response pushed, frontend notified). Dom0 drains the disk and routes
+    completions through this. *)
+
+val requests_served : t -> int

@@ -1,0 +1,141 @@
+module Frame = Vmk_hw.Frame
+module Arch = Vmk_hw.Arch
+
+type t = {
+  chan : Blk_channel.t;
+  backend : Hcall.domid;
+  arch : Arch.profile;
+  free : Frame.frame Queue.t;
+  inflight : (int, Hcall.gref * Frame.frame) Hashtbl.t;
+  completed : (int, bool) Hashtbl.t;
+  my_port : Hcall.port;
+  mutable next_id : int;
+  mutable issued : int;
+  mutable dead : bool;
+}
+
+let connect chan ~backend ?(arch = Arch.default) ?(buffers = 8) () =
+  let my_dom = Hcall.dom_id () in
+  chan.Blk_channel.front_dom <- Some my_dom;
+  let offer = Hcall.evtchn_alloc_unbound backend in
+  chan.Blk_channel.offer_port <- Some offer;
+  chan.Blk_channel.front_port <- Some offer;
+  let key = chan.Blk_channel.key in
+  Hcall.xs_write ~path:(key ^ "/frontend-dom") ~value:(string_of_int my_dom);
+  Hcall.xs_write ~path:(key ^ "/frontend-port") ~value:(string_of_int offer);
+  let t =
+    {
+      chan;
+      backend;
+      arch;
+      free = Queue.create ();
+      inflight = Hashtbl.create 8;
+      completed = Hashtbl.create 8;
+      my_port = offer;
+      next_id = 0;
+      issued = 0;
+      dead = false;
+    }
+  in
+  List.iter (fun f -> Queue.add f t.free) (Hcall.alloc_frames buffers);
+  (* Wait for the backend to bind before returning, so the first request's
+     notification cannot hit an unbound port. *)
+  ignore (Hcall.xs_wait_for (key ^ "/backend-port"));
+  t
+
+let port t = t.my_port
+
+let pump t =
+  let rec drain () =
+    match Ring.pop_response t.chan.Blk_channel.ring with
+    | Some { Blk_channel.r_id; ok } ->
+        Hcall.burn Blk_channel.ring_cost;
+        Hashtbl.replace t.completed r_id ok;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+let issue t ~op ~sector ~bytes ~tag_for_write =
+  if t.dead then None
+  else
+    match Queue.take_opt t.free with
+    | None -> None
+    | Some frame -> (
+        (match tag_for_write with
+        | Some tag -> Frame.set_tag frame tag
+        | None -> Frame.set_tag frame 0);
+        let readonly = op = Blk_channel.Write in
+        match Hcall.grant ~to_dom:t.backend ~frame ~readonly with
+        | gref ->
+            let id = t.next_id in
+            t.next_id <- t.next_id + 1;
+            Hcall.burn Blk_channel.ring_cost;
+            if
+              Ring.push_request t.chan.Blk_channel.ring
+                { Blk_channel.id; op; sector; gref; bytes }
+            then begin
+              Hashtbl.replace t.inflight id (gref, frame);
+              t.issued <- t.issued + 1;
+              (try Hcall.evtchn_send t.my_port
+               with Hcall.Hcall_error _ -> t.dead <- true);
+              if t.dead then None else Some id
+            end
+            else begin
+              (try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ());
+              Queue.add frame t.free;
+              None
+            end
+        | exception Hcall.Hcall_error _ ->
+            t.dead <- true;
+            Queue.add frame t.free;
+            None)
+
+let finish t id =
+  match Hashtbl.find_opt t.inflight id with
+  | Some (gref, frame) ->
+      Hashtbl.remove t.inflight id;
+      (try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ());
+      Queue.add frame t.free;
+      Some frame
+  | None -> None
+
+let await t ~mux ~id ~timeout =
+  let arrived () = Hashtbl.mem t.completed id || t.dead in
+  let ok = Evt_mux.wait mux ?timeout ~until:arrived () in
+  if (not ok) || t.dead then begin
+    ignore (finish t id);
+    None
+  end
+  else begin
+    let status = Hashtbl.find_opt t.completed id in
+    Hashtbl.remove t.completed id;
+    let frame = finish t id in
+    match (status, frame) with
+    | Some true, Some frame -> Some frame
+    | _ -> None
+  end
+
+let read t ~mux ~sector ~bytes ?timeout () =
+  pump t;
+  match issue t ~op:Blk_channel.Read ~sector ~bytes ~tag_for_write:None with
+  | None -> None
+  | Some id -> (
+      match await t ~mux ~id ~timeout with
+      | Some frame ->
+          (* Copy from the driver buffer to the application. *)
+          Hcall.burn (Arch.copy_cost t.arch ~bytes);
+          Some frame.Frame.tag
+      | None -> None)
+
+let write t ~mux ~sector ~bytes ~tag ?timeout () =
+  pump t;
+  Hcall.burn (Arch.copy_cost t.arch ~bytes);
+  match
+    issue t ~op:Blk_channel.Write ~sector ~bytes ~tag_for_write:(Some tag)
+  with
+  | None -> false
+  | Some id -> await t ~mux ~id ~timeout <> None
+
+let requests_issued t = t.issued
+let backend_dead t = t.dead

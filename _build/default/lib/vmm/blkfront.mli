@@ -1,0 +1,43 @@
+(** Guest-side paravirtual block driver.
+
+    Synchronous read/write over the shared ring: grant the data buffer,
+    push a request, notify, and wait (through the {!Evt_mux}) for the
+    matching response. A timeout or a hypercall failure surfaces as
+    [None]/[false] — how a guest discovers its storage service died
+    (experiment E6). *)
+
+type t
+
+val connect :
+  Blk_channel.t ->
+  backend:Hcall.domid ->
+  ?arch:Vmk_hw.Arch.profile ->
+  ?buffers:int ->
+  unit ->
+  t
+(** Frontend half of the handshake; [buffers] bounds in-flight requests
+    (default 8). *)
+
+val port : t -> Hcall.port
+val pump : t -> unit
+(** Drain ring responses (register on the mux: [Evt_mux.on mux (port t)
+    (fun () -> pump t)]). *)
+
+val read :
+  t -> mux:Evt_mux.t -> sector:int -> bytes:int -> ?timeout:int64 -> unit ->
+  int option
+(** Synchronous read; returns the sector's content tag, [None] on
+    timeout/backend death. *)
+
+val write :
+  t ->
+  mux:Evt_mux.t ->
+  sector:int ->
+  bytes:int ->
+  tag:int ->
+  ?timeout:int64 ->
+  unit ->
+  bool
+
+val requests_issued : t -> int
+val backend_dead : t -> bool

@@ -1,0 +1,26 @@
+let hypercall_fixed = 210
+let evtchn_send = 140
+let upcall = 260
+let grant_check = 60
+let page_flip_fixed = 330
+let pt_validate = 150
+let shadow_sync = 420
+let syscall_bounce = 380
+let irq_route = 170
+
+let icache_regions =
+  [
+    ("vmm.hcall.dispatch", 6);
+    ("vmm.hcall.sched", 10);
+    ("vmm.hcall.evtchn", 12);
+    ("vmm.hcall.grant_map", 16);
+    ("vmm.hcall.grant_transfer", 18);
+    ("vmm.hcall.pt", 20);
+    ("vmm.hcall.trap", 9);
+    ("vmm.hcall.memory", 11);
+    ("vmm.hcall.irq", 8);
+    ("vmm.hcall.syscall_bounce", 13);
+  ]
+
+let icache_lines_for region =
+  match List.assoc_opt region icache_regions with Some n -> n | None -> 0

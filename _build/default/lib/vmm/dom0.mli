@@ -1,0 +1,23 @@
+(** Dom0 — the privileged "super-VM" hosting the legacy drivers.
+
+    Binds the physical NIC and disk interrupts, connects the backends for
+    every channel it is given, and multiplexes events forever. This is
+    the centralised structure the paper's §2.2 warns about ("a single
+    point of failure"): experiment E6 kills it and measures the blast
+    radius; experiment E3 measures how much of the machine's CPU it
+    consumes under I/O load. *)
+
+val name : string
+(** ["dom0"] — also its cycle account. *)
+
+val body :
+  Vmk_hw.Machine.t ->
+  ?net:Net_channel.t list ->
+  ?blk:Blk_channel.t list ->
+  unit ->
+  unit
+(** The Dom0 kernel: create with
+    [Hypervisor.create_domain h ~name:Dom0.name ~privileged:true
+      (Dom0.body mach ~net ~blk)].
+    Every channel in [net]/[blk] must eventually be connected by a
+    frontend, or Dom0 spins waiting. *)

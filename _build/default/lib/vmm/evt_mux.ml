@@ -1,0 +1,25 @@
+type t = { handlers : (Hcall.port, unit -> unit) Hashtbl.t }
+
+let create () = { handlers = Hashtbl.create 8 }
+let on t port f = Hashtbl.replace t.handlers port f
+
+let dispatch t ports =
+  List.iter
+    (fun port ->
+      match Hashtbl.find_opt t.handlers port with
+      | Some f -> f ()
+      | None -> ())
+    ports
+
+let wait t ?timeout ~until () =
+  let rec loop () =
+    if until () then true
+    else
+      match Hcall.block ?timeout () with
+      | Hcall.Events ports ->
+          dispatch t ports;
+          loop ()
+      | Hcall.Timed_out -> until ()
+      | exception Hcall.Hcall_error _ -> until ()
+  in
+  loop ()

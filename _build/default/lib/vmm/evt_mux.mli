@@ -1,0 +1,24 @@
+(** Per-domain event-channel dispatcher.
+
+    A guest fiber has one blocking primitive ({!Hcall.block}) but several
+    event sources (netfront, blkfront, backends). The mux maps ports to
+    handler thunks so nested waits don't swallow each other's events:
+    while one driver blocks for its response, foreign ports that fire are
+    dispatched to their owners. *)
+
+type t
+
+val create : unit -> t
+
+val on : t -> Hcall.port -> (unit -> unit) -> unit
+(** Register (or replace) the handler for a port. *)
+
+val dispatch : t -> Hcall.port list -> unit
+(** Run handlers for the given ports; unknown ports are ignored. *)
+
+val wait : t -> ?timeout:int64 -> until:(unit -> bool) -> unit -> bool
+(** Block and dispatch until [until ()] holds. Returns [false] when a
+    block timed out (and [until] still fails) or the hypervisor refuses —
+    the caller's cue that a peer is dead. The [timeout] bounds each
+    individual block, so total wait can exceed it while events trickle
+    in. *)

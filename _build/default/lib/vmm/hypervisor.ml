@@ -1,0 +1,787 @@
+open Hcall
+module Machine = Vmk_hw.Machine
+module Arch = Vmk_hw.Arch
+module Addr = Vmk_hw.Addr
+module Frame = Vmk_hw.Frame
+module Page_table = Vmk_hw.Page_table
+module Mmu = Vmk_hw.Mmu
+module Irq = Vmk_hw.Irq
+module Tlb = Vmk_hw.Tlb
+module Cache = Vmk_hw.Cache
+module Segments = Vmk_hw.Segments
+module Accounts = Vmk_trace.Accounts
+module Counter = Vmk_trace.Counter
+module Engine = Vmk_sim.Engine
+
+let vmm_account = "vmm"
+let vmm_hole = Addr.range ~start:0xF000_0000 ~len:0x1000_0000
+
+type chan_state =
+  | Unbound of { allowed : domid }
+  | Bound of { remote_dom : domid; remote_port : port }
+  | Virq of int  (** Physical IRQ line routed to this port. *)
+  | Xs_watch of string  (** XenStore watch on a path prefix. *)
+
+type grant_entry = {
+  g_frame : Frame.frame;
+  g_to : domid;
+  g_readonly : bool;
+  mutable g_mapped_by : domid list;
+}
+
+type dom_state = Ready | Running | Blocked | Dead
+
+type pt_mode =
+  | Paravirt  (** Validated hypercalls update the real page table (Xen). *)
+  | Shadow
+      (** The guest writes its own table; the write traps and the VMM
+          synchronises a shadow (full-virtualisation style). *)
+
+type domain = {
+  domid : domid;
+  name : string;
+  privileged : bool;
+  weight : int;  (** Scheduler share (stride scheduling); default 256. *)
+  pt_mode : pt_mode;
+  mutable pass : int64;  (** Stride-scheduler virtual time. *)
+  mutable state : dom_state;
+  mutable cont : (hreply, unit) Effect.Deep.continuation option;
+  mutable pending_reply : hreply;
+  mutable body : (unit -> unit) option;
+  ports : (port, chan_state) Hashtbl.t;
+  pending_events : (port, unit) Hashtbl.t;
+  grants : (gref, grant_entry) Hashtbl.t;
+  space : Page_table.t;
+  segments : Segments.t;
+  mutable int80_direct : bool;
+  mutable next_port : int;
+  mutable next_gref : int;
+  mutable block_token : int;
+  mutable burn_left : int;
+      (** Remaining guest computation, consumed one timeslice per
+          dispatch so compute-bound domains cannot starve I/O domains
+          (models timer preemption). *)
+}
+
+type t = {
+  mach : Machine.t;
+  domains : (domid, domain) Hashtbl.t;
+  irq_routes : (int, domid * port) Hashtbl.t;
+  xenstore : (string, string) Hashtbl.t;
+  mutable xs_watches : (string * domid * port) list;
+      (** (path prefix, watcher, port to pend on writes underneath). *)
+  mutable next_domid : int;
+  mutable next_asid : int;
+  mutable last_domid : domid;
+}
+
+type stop_reason = Idle | Condition | Dispatch_limit
+
+let machine t = t.mach
+
+let create mach =
+  {
+    mach;
+    domains = Hashtbl.create 8;
+    irq_routes = Hashtbl.create 8;
+    xenstore = Hashtbl.create 32;
+    xs_watches = [];
+    next_domid = 0;
+    next_asid = 1;
+    last_domid = -1;
+  }
+
+let find h domid = Hashtbl.find_opt h.domains domid
+
+let find_alive h domid =
+  match find h domid with
+  | Some d when d.state <> Dead -> Some d
+  | Some _ | None -> None
+
+let ready h d reply =
+  ignore h;
+  match d.state with
+  | Dead -> ()
+  | Ready -> d.pending_reply <- reply
+  | Running | Blocked ->
+      d.pending_reply <- reply;
+      d.state <- Ready
+
+let create_domain h ~name ?(privileged = false) ?(weight = 256)
+    ?(pt_mode = Paravirt) body =
+  if weight < 1 then invalid_arg "Hypervisor.create_domain: weight < 1";
+  let domid = h.next_domid in
+  h.next_domid <- h.next_domid + 1;
+  let asid = h.next_asid in
+  h.next_asid <- h.next_asid + 1;
+  let d =
+    {
+      domid;
+      name;
+      privileged;
+      weight;
+      pt_mode;
+      pass = 0L;
+      state = Ready;
+      cont = None;
+      pending_reply = R_unit;
+      body = Some body;
+      ports = Hashtbl.create 8;
+      pending_events = Hashtbl.create 8;
+      grants = Hashtbl.create 16;
+      space = Page_table.create ~asid;
+      segments = Segments.create ~user_limit:vmm_hole.Addr.start;
+      int80_direct = false;
+      next_port = 1;
+      next_gref = 1;
+      block_token = 0;
+      burn_left = 0;
+    }
+  in
+  Hashtbl.add h.domains domid d;
+  Counter.incr h.mach.Machine.counters "vmm.domain_create";
+  domid
+
+let is_alive h domid = find_alive h domid <> None
+let domain_name h domid = Option.map (fun d -> d.name) (find h domid)
+
+let domain_count h =
+  Hashtbl.fold
+    (fun _ d acc -> if d.state <> Dead then acc + 1 else acc)
+    h.domains 0
+
+let state_name h domid =
+  match find h domid with
+  | None -> "missing"
+  | Some d -> (
+      match d.state with
+      | Ready -> "ready"
+      | Running -> "running"
+      | Blocked -> "blocked"
+      | Dead -> "dead")
+
+let pending_event_count h domid =
+  match find h domid with
+  | Some d -> Hashtbl.length d.pending_events
+  | None -> 0
+
+let runnable_names h =
+  Hashtbl.fold
+    (fun _ d acc -> if d.state = Ready then d.name :: acc else acc)
+    h.domains []
+  |> List.sort compare
+
+(* --- cost helpers --- *)
+
+let vcharged h f = Accounts.with_account h.mach.Machine.accounts vmm_account f
+let vburn h cycles = Machine.burn h.mach cycles
+
+let touch_region h region =
+  vburn h
+    (Cache.touch h.mach.Machine.icache ~region
+       ~lines:(Costs.icache_lines_for region))
+
+let hypercall_overhead h region =
+  let arch = h.mach.Machine.arch in
+  Counter.incr h.mach.Machine.counters "vmm.hypercall";
+  vburn h (arch.Arch.trap_cost + Costs.hypercall_fixed + arch.Arch.kernel_exit_cost);
+  touch_region h "vmm.hcall.dispatch";
+  touch_region h region
+
+(* --- events --- *)
+
+let collect_events d =
+  let ports = Hashtbl.fold (fun p () acc -> p :: acc) d.pending_events [] in
+  Hashtbl.reset d.pending_events;
+  List.sort compare ports
+
+let wake_with_events h d =
+  let ports = collect_events d in
+  Counter.incr h.mach.Machine.counters "vmm.upcall";
+  (* Upcall delivery executes on the woken domain's vcpu. *)
+  Accounts.with_account h.mach.Machine.accounts d.name (fun () ->
+      vburn h Costs.upcall);
+  ready h d (R_block (Events ports))
+
+let set_pending h (target : domain) port =
+  Hashtbl.replace target.pending_events port ();
+  match target.state with
+  | Blocked -> wake_with_events h target
+  | Ready | Running | Dead -> ()
+
+(* --- XenStore (the XenBus handshake registry) --- *)
+
+let xs_prefix_matches ~prefix ~path =
+  String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix
+
+let do_xs_write h (path : string) value =
+  Hashtbl.replace h.xenstore path value;
+  Counter.incr h.mach.Machine.counters "vmm.xs_write";
+  List.iter
+    (fun (prefix, domid, port) ->
+      if xs_prefix_matches ~prefix ~path then
+        match find_alive h domid with
+        | Some watcher -> set_pending h watcher port
+        | None -> ())
+    h.xs_watches
+
+let do_xs_watch h (d : domain) prefix =
+  let port = d.next_port in
+  d.next_port <- d.next_port + 1;
+  Hashtbl.replace d.ports port (Xs_watch prefix);
+  h.xs_watches <- (prefix, d.domid, port) :: h.xs_watches;
+  port
+
+let do_evtchn_send h (src : domain) port =
+  match Hashtbl.find_opt src.ports port with
+  | Some (Bound { remote_dom; remote_port }) -> begin
+      match find_alive h remote_dom with
+      | Some target ->
+          Counter.incr h.mach.Machine.counters "vmm.evtchn_send";
+          vburn h Costs.evtchn_send;
+          set_pending h target remote_port;
+          R_unit
+      | None -> R_error Dead_domain
+    end
+  | Some (Virq _) | Some (Unbound _) | Some (Xs_watch _) | None ->
+      R_error Bad_port
+
+(* --- grants --- *)
+
+let do_grant h (d : domain) ~to_dom ~frame ~readonly =
+  if frame.Frame.owner <> d.name then R_error Permission_denied
+  else begin
+    let gref = d.next_gref in
+    d.next_gref <- d.next_gref + 1;
+    Hashtbl.add d.grants gref
+      { g_frame = frame; g_to = to_dom; g_readonly = readonly; g_mapped_by = [] };
+    vburn h Costs.grant_check;
+    R_gref gref
+  end
+
+let do_grant_map h (mapper : domain) ~dom ~gref =
+  match find_alive h dom with
+  | None -> R_error Dead_domain
+  | Some granter -> begin
+      match Hashtbl.find_opt granter.grants gref with
+      | Some entry when entry.g_to = mapper.domid ->
+          entry.g_mapped_by <- mapper.domid :: entry.g_mapped_by;
+          let arch = h.mach.Machine.arch in
+          Counter.incr h.mach.Machine.counters "vmm.grant_map";
+          vburn h
+            (Costs.grant_check + arch.Arch.pt_update_cost
+           + arch.Arch.page_map_cost);
+          R_frames [ entry.g_frame ]
+      | Some _ -> R_error Permission_denied
+      | None -> R_error Bad_gref
+    end
+
+let do_grant_unmap h (mapper : domain) ~dom ~gref =
+  match find_alive h dom with
+  | None -> R_unit (* granter died; nothing to unmap against *)
+  | Some granter -> begin
+      match Hashtbl.find_opt granter.grants gref with
+      | Some entry ->
+          entry.g_mapped_by <-
+            List.filter (fun id -> id <> mapper.domid) entry.g_mapped_by;
+          Counter.incr h.mach.Machine.counters "vmm.grant_unmap";
+          vburn h h.mach.Machine.arch.Arch.pt_update_cost;
+          R_unit
+      | None -> R_error Bad_gref
+    end
+
+let do_grant_revoke h (d : domain) gref =
+  match Hashtbl.find_opt d.grants gref with
+  | Some entry when entry.g_mapped_by = [] ->
+      Hashtbl.remove d.grants gref;
+      vburn h Costs.grant_check;
+      R_unit
+  | Some _ -> R_error Permission_denied
+  | None -> R_error Bad_gref
+
+let do_grant_transfer h (d : domain) ~to_dom ~frame =
+  if frame.Frame.owner <> d.name then R_error Permission_denied
+  else
+    match find_alive h to_dom with
+    | None -> R_error Dead_domain
+    | Some target ->
+        let arch = h.mach.Machine.arch in
+        Frame.transfer h.mach.Machine.frames frame ~to_:target.name;
+        Counter.incr h.mach.Machine.counters "vmm.page_flip";
+        (* The flip costs fixed bookkeeping plus two PTE updates and a TLB
+           shootdown — independent of how many payload bytes the page
+           carries. [CG05]'s central observation. *)
+        vburn h
+          (Costs.page_flip_fixed
+          + (2 * arch.Arch.pt_update_cost)
+          + arch.Arch.tlb_refill_cost);
+        Tlb.flush_asid h.mach.Machine.tlb ~asid:(Page_table.asid d.space);
+        R_unit
+
+(* The netback receive flip: swap a filled local page for a page the peer
+   offered through a transfer grant. One hypercall, one page flip. *)
+let do_grant_exchange h (d : domain) ~dom ~gref ~give =
+  if give.Frame.owner <> d.name then R_error Permission_denied
+  else
+    match find_alive h dom with
+    | None -> R_error Dead_domain
+    | Some granter -> begin
+        match Hashtbl.find_opt granter.grants gref with
+        | Some entry when entry.g_to = d.domid && entry.g_mapped_by = [] ->
+            Hashtbl.remove granter.grants gref;
+            Frame.transfer h.mach.Machine.frames entry.g_frame ~to_:d.name;
+            Frame.transfer h.mach.Machine.frames give ~to_:granter.name;
+            Counter.incr h.mach.Machine.counters "vmm.page_flip";
+            let arch = h.mach.Machine.arch in
+            vburn h
+              (Costs.page_flip_fixed
+              + (4 * arch.Arch.pt_update_cost)
+              + arch.Arch.tlb_refill_cost);
+            Tlb.flush_asid h.mach.Machine.tlb
+              ~asid:(Page_table.asid granter.space);
+            Tlb.flush_asid h.mach.Machine.tlb ~asid:(Page_table.asid d.space);
+            R_frames [ entry.g_frame ]
+        | Some _ -> R_error Permission_denied
+        | None -> R_error Bad_gref
+      end
+
+(* GNTTABOP_copy: validated copy into a granted page; the tag models the
+   payload. *)
+let do_grant_copy h (d : domain) ~dom ~gref ~bytes ~tag =
+  if bytes < 0 || bytes > Addr.page_size then R_error (Not_virtualisable "size")
+  else
+    match find_alive h dom with
+    | None -> R_error Dead_domain
+    | Some granter -> begin
+        match Hashtbl.find_opt granter.grants gref with
+        | Some entry when entry.g_to = d.domid && not entry.g_readonly ->
+            Counter.incr h.mach.Machine.counters "vmm.grant_copy";
+            vburn h (Costs.grant_check + Arch.copy_cost h.mach.Machine.arch ~bytes);
+            Frame.set_tag entry.g_frame tag;
+            R_unit
+        | Some _ -> R_error Permission_denied
+        | None -> R_error Bad_gref
+      end
+
+(* --- guest syscall path (§3.2) --- *)
+
+let shortcut_valid h (d : domain) =
+  let arch = h.mach.Machine.arch in
+  d.int80_direct && arch.Arch.has_trap_gates && arch.Arch.has_segmentation
+  && Segments.live_segments_exclude d.segments vmm_hole
+
+let do_syscall_trap h (d : domain) =
+  let arch = h.mach.Machine.arch in
+  if shortcut_valid h d then begin
+    (* Straight into the guest kernel: the VMM never runs. *)
+    Counter.incr h.mach.Machine.counters "vmm.syscall_fast";
+    Accounts.with_account h.mach.Machine.accounts d.name (fun () ->
+        vburn h (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost));
+    R_syscall Fast_trap_gate
+  end
+  else begin
+    (* Trap to the hypervisor, bounce into the guest kernel, return via
+       the hypervisor again — the IPC-equivalent operation. *)
+    Counter.incr h.mach.Machine.counters "vmm.syscall_bounce";
+    vburn h
+      (arch.Arch.trap_cost + Costs.syscall_bounce + arch.Arch.kernel_exit_cost
+     + arch.Arch.trap_cost + arch.Arch.kernel_exit_cost);
+    touch_region h "vmm.hcall.syscall_bounce";
+    R_syscall Bounced
+  end
+
+(* --- domain death --- *)
+
+let kill_domain_internal h (d : domain) =
+  if d.state <> Dead then begin
+    d.state <- Dead;
+    d.cont <- None;
+    d.body <- None;
+    Hashtbl.reset d.pending_events;
+    let lines =
+      Hashtbl.fold
+        (fun line (domid, _) acc -> if domid = d.domid then line :: acc else acc)
+        h.irq_routes []
+    in
+    List.iter (Hashtbl.remove h.irq_routes) lines;
+    h.xs_watches <-
+      List.filter (fun (_, domid, _) -> domid <> d.domid) h.xs_watches;
+    Counter.incr h.mach.Machine.counters "vmm.domain_destroy"
+  end
+
+let kill_domain h domid =
+  match find h domid with
+  | Some d -> kill_domain_internal h d
+  | None -> ()
+
+(* --- hypercall dispatch --- *)
+
+(* Hypervisor work performed on behalf of a hypercall runs on the calling
+   domain's vcpu and is charged to it, as Xen's accounting does; only
+   world switches and physical-IRQ routing land on the anonymous "vmm"
+   account. *)
+let caller_charged f = f ()
+
+let handle_hypercall h (d : domain) call =
+  match call with
+  | _ when d.state = Dead ->
+      (* Killed mid-burn by fault injection: abandoned at the next trap. *)
+      ()
+  | H_burn n ->
+      (* Sliced across dispatches: see [timeslice]. *)
+      d.burn_left <- max 0 n;
+      ready h d R_unit
+  | H_dom_id ->
+      caller_charged (fun () -> hypercall_overhead h "vmm.hcall.dispatch");
+      ready h d (R_domid d.domid)
+  | H_yield ->
+      caller_charged (fun () -> hypercall_overhead h "vmm.hcall.sched");
+      ready h d R_unit
+  | H_poll ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.evtchn";
+          let ports = collect_events d in
+          ready h d (R_block (Events ports)))
+  | H_block { timeout } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.sched";
+          if Hashtbl.length d.pending_events > 0 then
+            ready h d (R_block (Events (collect_events d)))
+          else begin
+            d.state <- Blocked;
+            d.block_token <- d.block_token + 1;
+            let token = d.block_token in
+            match timeout with
+            | Some cycles ->
+                Engine.after h.mach.Machine.engine cycles (fun () ->
+                    if d.state = Blocked && d.block_token = token then
+                      ready h d (R_block Timed_out))
+            | None -> ()
+          end)
+  | H_alloc_frames n ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.memory";
+          if n <= 0 then ready h d (R_error Out_of_memory)
+          else
+            match Frame.alloc_many h.mach.Machine.frames ~owner:d.name n with
+            | frames ->
+                vburn h (n * h.mach.Machine.arch.Arch.page_map_cost);
+                ready h d (R_frames frames)
+            | exception Frame.Out_of_frames -> ready h d (R_error Out_of_memory))
+  | H_evtchn_alloc_unbound allowed ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.evtchn";
+          let port = d.next_port in
+          d.next_port <- d.next_port + 1;
+          Hashtbl.add d.ports port (Unbound { allowed });
+          ready h d (R_port port))
+  | H_evtchn_bind { remote_dom; remote_port } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.evtchn";
+          match find_alive h remote_dom with
+          | None -> ready h d (R_error Dead_domain)
+          | Some peer -> (
+              match Hashtbl.find_opt peer.ports remote_port with
+              | Some (Unbound { allowed }) when allowed = d.domid ->
+                  let local = d.next_port in
+                  d.next_port <- d.next_port + 1;
+                  Hashtbl.replace d.ports local
+                    (Bound { remote_dom; remote_port });
+                  Hashtbl.replace peer.ports remote_port
+                    (Bound { remote_dom = d.domid; remote_port = local });
+                  ready h d (R_port local)
+              | Some _ | None -> ready h d (R_error Bad_port)))
+  | H_evtchn_send port ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.evtchn";
+          ready h d (do_evtchn_send h d port))
+  | H_irq_bind line ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.irq";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else if line < 0 || line >= Irq.lines h.mach.Machine.irq then
+            ready h d (R_error Bad_port)
+          else begin
+            let port = d.next_port in
+            d.next_port <- d.next_port + 1;
+            Hashtbl.replace d.ports port (Virq line);
+            Hashtbl.replace h.irq_routes line (d.domid, port);
+            ready h d (R_port port)
+          end)
+  | H_gnttab_grant { to_dom; frame; readonly } ->
+      (* Shared-memory grant-table write: no trap. *)
+      caller_charged (fun () -> ready h d (do_grant h d ~to_dom ~frame ~readonly))
+  | H_gnttab_revoke gref ->
+      caller_charged (fun () -> ready h d (do_grant_revoke h d gref))
+  | H_gnttab_map { dom; gref } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.grant_map";
+          ready h d (do_grant_map h d ~dom ~gref))
+  | H_gnttab_unmap { dom; gref } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.grant_map";
+          ready h d (do_grant_unmap h d ~dom ~gref))
+  | H_gnttab_transfer { to_dom; frame } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.grant_transfer";
+          ready h d (do_grant_transfer h d ~to_dom ~frame))
+  | H_gnttab_exchange { dom; gref; give } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.grant_transfer";
+          ready h d (do_grant_exchange h d ~dom ~gref ~give))
+  | H_gnttab_copy { dom; gref; bytes; tag } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.grant_map";
+          ready h d (do_grant_copy h d ~dom ~gref ~bytes ~tag))
+  | H_pt_map { frame; vpn; writable } ->
+      caller_charged (fun () ->
+          let arch = h.mach.Machine.arch in
+          (match d.pt_mode with
+          | Paravirt ->
+              hypercall_overhead h "vmm.hcall.pt";
+              vburn h (Costs.pt_validate + arch.Arch.pt_update_cost)
+          | Shadow ->
+              (* The guest's native PTE write faults on the write-protected
+                 page table; the VMM decodes it and updates both the guest
+                 table and the shadow. *)
+              Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+              vburn h
+                (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
+               + Costs.shadow_sync
+                + (2 * arch.Arch.pt_update_cost));
+              touch_region h "vmm.hcall.pt");
+          if frame.Frame.owner <> d.name then
+            ready h d (R_error Permission_denied)
+          else begin
+            Page_table.map d.space ~vpn frame ~writable ~user:true;
+            Counter.incr h.mach.Machine.counters "vmm.pt_update";
+            ready h d R_unit
+          end)
+  | H_pt_unmap vpn ->
+      caller_charged (fun () ->
+          let arch = h.mach.Machine.arch in
+          (match d.pt_mode with
+          | Paravirt ->
+              hypercall_overhead h "vmm.hcall.pt";
+              vburn h (Costs.pt_validate + arch.Arch.pt_update_cost)
+          | Shadow ->
+              Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+              vburn h
+                (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
+               + Costs.shadow_sync
+                + (2 * arch.Arch.pt_update_cost));
+              touch_region h "vmm.hcall.pt");
+          ignore (Page_table.unmap d.space ~vpn);
+          Tlb.invalidate h.mach.Machine.tlb ~asid:(Page_table.asid d.space) ~vpn;
+          Counter.incr h.mach.Machine.counters "vmm.pt_update";
+          ready h d R_unit)
+  | H_pt_batch ops ->
+      caller_charged (fun () ->
+          let arch = h.mach.Machine.arch in
+          let apply op =
+            match op with
+            | Pt_map { bframe; bvpn; bwritable } ->
+                if bframe.Frame.owner = d.name then begin
+                  Page_table.map d.space ~vpn:bvpn bframe ~writable:bwritable
+                    ~user:true;
+                  Counter.incr h.mach.Machine.counters "vmm.pt_update"
+                end
+            | Pt_unmap vpn ->
+                ignore (Page_table.unmap d.space ~vpn);
+                Tlb.invalidate h.mach.Machine.tlb
+                  ~asid:(Page_table.asid d.space) ~vpn;
+                Counter.incr h.mach.Machine.counters "vmm.pt_update"
+          in
+          (match d.pt_mode with
+          | Paravirt ->
+              (* One trap amortised over the whole batch. *)
+              hypercall_overhead h "vmm.hcall.pt";
+              List.iter
+                (fun op ->
+                  vburn h (Costs.pt_validate + arch.Arch.pt_update_cost);
+                  apply op)
+                ops
+          | Shadow ->
+              (* Native PTE writes cannot be batched: each one faults. *)
+              List.iter
+                (fun op ->
+                  Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+                  vburn h
+                    (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
+                   + Costs.shadow_sync
+                    + (2 * arch.Arch.pt_update_cost));
+                  touch_region h "vmm.hcall.pt";
+                  apply op)
+                ops);
+          ready h d R_unit)
+  | H_set_trap_table { int80_direct } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.trap";
+          d.int80_direct <- int80_direct;
+          ready h d R_unit)
+  | H_load_segment (sel, desc) ->
+      caller_charged (fun () ->
+          (* Paravirtualised descriptor update: a real hypercall. *)
+          hypercall_overhead h "vmm.hcall.trap";
+          vburn h h.mach.Machine.arch.Arch.segment_reload_cost;
+          Segments.load d.segments sel desc;
+          ready h d R_unit)
+  | H_syscall_trap -> ready h d (do_syscall_trap h d)
+  | H_xs_write { path; value } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.dispatch";
+          do_xs_write h path value;
+          ready h d R_unit)
+  | H_xs_read path ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.dispatch";
+          ready h d (R_xs (Hashtbl.find_opt h.xenstore path)))
+  | H_xs_rm path ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.dispatch";
+          Hashtbl.remove h.xenstore path;
+          ready h d R_unit)
+  | H_xs_watch prefix ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.evtchn";
+          ready h d (R_port (do_xs_watch h d prefix)))
+  | H_exit -> kill_domain_internal h d
+
+(* --- fibers --- *)
+
+let start_fiber h (d : domain) body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> kill_domain_internal h d);
+      exnc =
+        (fun exn ->
+          Counter.incr h.mach.Machine.counters "vmm.domain_crashed";
+          Logs.debug (fun m ->
+              m "vmm: domain %s crashed: %s" d.name (Printexc.to_string exn));
+          kill_domain_internal h d);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Invoke call ->
+              Some
+                (fun (kont : (a, unit) continuation) ->
+                  d.cont <- Some kont;
+                  handle_hypercall h d call)
+          | _ -> None);
+    }
+
+(* --- physical interrupt routing --- *)
+
+let route_irqs h =
+  let irq = h.mach.Machine.irq in
+  for line = 0 to Irq.lines irq - 1 do
+    if Irq.is_pending irq line && not (Irq.is_masked irq line) then
+      match Hashtbl.find_opt h.irq_routes line with
+      | Some (domid, port) -> begin
+          match find_alive h domid with
+          | Some d ->
+              Irq.ack irq line;
+              let arch = h.mach.Machine.arch in
+              vcharged h (fun () ->
+                  Counter.incr h.mach.Machine.counters "vmm.irq";
+                  vburn h
+                    (arch.Arch.irq_entry_cost + Costs.irq_route
+                   + arch.Arch.irq_eoi_cost);
+                  set_pending h d port)
+          | None -> Irq.ack irq line
+        end
+      | None -> ()
+  done
+
+(* --- scheduling --- *)
+
+(* Stride scheduling (Waldspurger): among runnable domains pick the one
+   with the smallest pass; advance its pass by stride x time consumed.
+   Equal weights degrade to round-robin; a boosted driver domain (see
+   ablation A5) gets a proportionally larger CPU share. *)
+let stride_numerator = 1_000_000L
+
+let pick h =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ d ->
+      if d.state = Ready then
+        match !best with
+        | Some b
+          when Int64.compare b.pass d.pass < 0
+               || (Int64.compare b.pass d.pass = 0 && b.domid <= d.domid) ->
+            ()
+        | Some _ | None -> best := Some d)
+    h.domains;
+  !best
+
+let charge_pass h d ~cycles =
+  ignore h;
+  (* One pass unit per 1k cycles, scaled by 1/weight. *)
+  let units = Int64.of_int (max 1 (Int64.to_int cycles / 1000)) in
+  let stride = Int64.div stride_numerator (Int64.of_int d.weight) in
+  d.pass <- Int64.add d.pass (Int64.mul stride units)
+
+(* Timer-tick quantum: a compute burst longer than this is preempted and
+   the domain re-enters the runnable set. *)
+let timeslice = 5_000
+
+let dispatch h (d : domain) =
+  let t0 = Machine.now h.mach in
+  if d.domid <> h.last_domid then begin
+    let arch = h.mach.Machine.arch in
+    vcharged h (fun () ->
+        Counter.incr h.mach.Machine.counters "vmm.world_switch";
+        vburn h arch.Arch.world_switch_cost;
+        Mmu.switch_space h.mach d.space);
+    h.last_domid <- d.domid
+  end;
+  d.state <- Running;
+  Accounts.switch_to h.mach.Machine.accounts d.name;
+  (if d.burn_left > 0 then begin
+     let step = min timeslice d.burn_left in
+     Machine.burn h.mach step;
+     d.burn_left <- d.burn_left - step;
+     if d.state = Running then
+       (* Still alive (fault injection may have killed it mid-burn). *)
+       d.state <- Ready
+   end
+   else
+     match d.body with
+     | Some body ->
+         d.body <- None;
+         start_fiber h d body
+     | None -> (
+         match d.cont with
+         | Some kont ->
+             d.cont <- None;
+             Effect.Deep.continue kont d.pending_reply
+         | None -> kill_domain_internal h d));
+  charge_pass h d ~cycles:(Int64.sub (Machine.now h.mach) t0)
+
+let run ?until ?(max_dispatches = 10_000_000) h =
+  let dispatches = ref 0 in
+  let stop_requested () =
+    match until with Some f -> f () | None -> false
+  in
+  let rec loop () =
+    if stop_requested () then Condition
+    else begin
+      route_irqs h;
+      match pick h with
+      | Some d ->
+          if !dispatches >= max_dispatches then Dispatch_limit
+          else begin
+            incr dispatches;
+            dispatch h d;
+            loop ()
+          end
+      | None ->
+          if Engine.idle_to_next h.mach.Machine.engine then loop () else Idle
+    end
+  in
+  let reason = loop () in
+  Accounts.switch_to h.mach.Machine.accounts "idle";
+  reason

@@ -1,0 +1,73 @@
+(** The Xen-style hypervisor.
+
+    Domains are single-VCPU fibers scheduled round-robin; the hypervisor
+    implements the primitive inventory of {!Hcall}: event channels, grant
+    tables (including transfer, i.e. page flipping), validated page-table
+    updates, physical-IRQ routing to driver domains, and the two guest
+    system-call paths (trap-gate shortcut vs bounce through the VMM).
+
+    Like Xen, the hypervisor lives in a reserved hole at the top of every
+    guest address space ({!vmm_hole}); hypercalls therefore cost a trap
+    but no address-space switch, while switching *between* domains is a
+    full world switch (TLB flush on untagged platforms).
+
+    Cost accounting: guest computation is charged to the domain's
+    account (its name); all hypervisor work to ["vmm"]. *)
+
+type t
+
+val vmm_account : string
+(** ["vmm"]. *)
+
+val vmm_hole : Vmk_hw.Addr.range
+(** The reserved hypervisor address range guest segments must exclude for
+    the syscall shortcut to be safe. *)
+
+type pt_mode =
+  | Paravirt  (** Validated hypercall updates (Xen's paravirtualisation). *)
+  | Shadow
+      (** Trap-and-shadow page tables (full-virtualisation style):
+          guest PTE writes fault into the VMM, which synchronises a
+          shadow — compare ablation A6. *)
+
+val create : Vmk_hw.Machine.t -> t
+
+val machine : t -> Vmk_hw.Machine.t
+
+val create_domain :
+  t ->
+  name:string ->
+  ?privileged:bool ->
+  ?weight:int ->
+  ?pt_mode:pt_mode ->
+  (unit -> unit) ->
+  Hcall.domid
+(** Add a domain running [body] as its (para-virtualised) kernel.
+    [privileged] domains (Dom0, driver domains) may bind physical IRQs.
+    [weight] is the stride-scheduler share (default 256; Xen's credit
+    scheduler analog — a boosted driver domain gets proportionally more
+    CPU, see ablation A5). The domain's cycle account is its name.
+
+    @raise Invalid_argument if [weight < 1]. *)
+
+type stop_reason = Idle | Condition | Dispatch_limit
+
+val run : ?until:(unit -> bool) -> ?max_dispatches:int -> t -> stop_reason
+
+val kill_domain : t -> Hcall.domid -> unit
+(** Destroy a domain abruptly (fault injection). Peers are not notified —
+    they discover through send errors and block timeouts, which is the
+    §3.1 liability-inversion behaviour under test. *)
+
+val is_alive : t -> Hcall.domid -> bool
+val domain_name : t -> Hcall.domid -> string option
+val domain_count : t -> int
+(** Live domains. *)
+
+val state_name : t -> Hcall.domid -> string
+(** ["ready"|"running"|"blocked"|"dead"|"missing"]. *)
+
+val pending_event_count : t -> Hcall.domid -> int
+
+val runnable_names : t -> string list
+(** Names currently in the run queue (diagnostics). *)

@@ -1,0 +1,213 @@
+module Frame = Vmk_hw.Frame
+module Arch = Vmk_hw.Arch
+module Machine = Vmk_hw.Machine
+module Nic = Vmk_hw.Nic
+module Counter = Vmk_trace.Counter
+
+(* Per-packet backend work beyond the hypercalls: ring manipulation,
+   demux, softirq bookkeeping. *)
+let per_packet_work = 900
+let per_tx_work = 700
+
+type t = {
+  chan : Net_channel.t;
+  mach : Machine.t;
+  front : Hcall.domid;
+  my_port : Hcall.port;
+  pool : Frame.frame Queue.t;  (** Dom0-owned buffers for NIC posting. *)
+  flip_posts : Hcall.gref Queue.t;
+  copy_grants : Hcall.gref Queue.t;
+  tx_pending : (int, Hcall.gref) Hashtbl.t;  (** frame index -> gref *)
+  nic_target : int;
+  mutable rx_delivered : int;
+  mutable tx_forwarded : int;
+  mutable dropped_nobuf : int;
+  mutable dirty : bool;  (** Responses pushed since the last notify. *)
+}
+
+let restock_nic t =
+  while
+    Nic.rx_buffers_posted t.mach.Machine.nic < t.nic_target
+    && not (Queue.is_empty t.pool)
+  do
+    Nic.post_rx_buffer t.mach.Machine.nic (Queue.take t.pool)
+  done
+
+let pump_frontend_posts t =
+  let rec drain () =
+    match Ring.pop_request t.chan.Net_channel.rx_ring with
+    | Some (Net_channel.Rx_post_flip { flip_gref }) ->
+        Hcall.burn Net_channel.ring_cost;
+        Queue.add flip_gref t.flip_posts;
+        drain ()
+    | Some (Net_channel.Rx_post_copy { rx_gref }) ->
+        Hcall.burn Net_channel.ring_cost;
+        Queue.add rx_gref t.copy_grants;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  restock_nic t
+
+let connect chan mach ?(nic_buffers = 16) () =
+  (* XenBus handshake: block on the frontend's published nodes. *)
+  let key = chan.Net_channel.key in
+  let front =
+    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-dom")))
+  in
+  let offer =
+    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-port")))
+  in
+  let my_port = Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer in
+  chan.Net_channel.back_port <- Some my_port;
+  Hcall.xs_write ~path:(key ^ "/backend-port") ~value:(string_of_int my_port);
+  let t =
+    {
+      chan;
+      mach;
+      front;
+      my_port;
+      pool = Queue.create ();
+      flip_posts = Queue.create ();
+      copy_grants = Queue.create ();
+      tx_pending = Hashtbl.create 32;
+      nic_target = nic_buffers;
+      rx_delivered = 0;
+      tx_forwarded = 0;
+      dropped_nobuf = 0;
+      dirty = false;
+    }
+  in
+  List.iter (fun f -> Queue.add f t.pool) (Hcall.alloc_frames nic_buffers);
+  pump_frontend_posts t;
+  t
+
+let port t = t.my_port
+let frontend t = t.front
+let demux_key t = t.chan.Net_channel.demux_key
+
+let notify t = try Hcall.evtchn_send t.my_port with Hcall.Hcall_error _ -> ()
+
+let handle_event t =
+  pump_frontend_posts t;
+  let rec drain_tx () =
+    match Ring.pop_request t.chan.Net_channel.tx_ring with
+    | Some { Net_channel.tx_gref; tx_len } -> begin
+        Hcall.burn (Net_channel.ring_cost + per_tx_work);
+        match Hcall.grant_map ~dom:t.front ~gref:tx_gref with
+        | frame ->
+            Hashtbl.replace t.tx_pending frame.Frame.index tx_gref;
+            Nic.submit_tx t.mach.Machine.nic frame ~len:tx_len;
+            t.tx_forwarded <- t.tx_forwarded + 1;
+            Counter.incr t.mach.Machine.counters "netback.tx_packets";
+            drain_tx ()
+        | exception Hcall.Hcall_error _ -> drain_tx ()
+      end
+    | None -> ()
+  in
+  drain_tx ()
+
+(* One hypercall swaps the filled NIC buffer against a page the frontend
+   offered; the taken empty page refills the NIC pool. *)
+let deliver_flip t (ev : Nic.rx_event) =
+  match Queue.take_opt t.flip_posts with
+  | None ->
+      t.dropped_nobuf <- t.dropped_nobuf + 1;
+      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+      Queue.add ev.Nic.frame t.pool;
+      false
+  | Some gref -> begin
+      match Hcall.grant_exchange ~dom:t.front ~gref ~give:ev.Nic.frame with
+      | empty ->
+          Queue.add empty t.pool;
+          ignore
+            (Ring.push_response t.chan.Net_channel.rx_ring
+               (Net_channel.Rx_flipped { full = ev.Nic.frame; len = ev.Nic.len }));
+          t.rx_delivered <- t.rx_delivered + 1;
+          true
+      | exception Hcall.Hcall_error _ ->
+          (* Frontend died: keep the frame for ourselves. *)
+          Queue.add ev.Nic.frame t.pool;
+          false
+    end
+
+let deliver_copy t (ev : Nic.rx_event) =
+  match Queue.take_opt t.copy_grants with
+  | None ->
+      t.dropped_nobuf <- t.dropped_nobuf + 1;
+      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+      Queue.add ev.Nic.frame t.pool;
+      false
+  | Some gref -> begin
+      (* GNTTABOP_copy: one hypercall validates the grant and moves the
+         bytes — the per-byte half of the ablation, on Dom0's account. *)
+      match
+        Hcall.grant_copy ~dom:t.front ~gref ~bytes:ev.Nic.len ~tag:ev.Nic.tag
+      with
+      | () ->
+          ignore
+            (Ring.push_response t.chan.Net_channel.rx_ring
+               (Net_channel.Rx_copied { rxr_gref = gref; len = ev.Nic.len }));
+          t.rx_delivered <- t.rx_delivered + 1;
+          Queue.add ev.Nic.frame t.pool;
+          true
+      | exception Hcall.Hcall_error _ ->
+          Queue.add ev.Nic.frame t.pool;
+          false
+    end
+
+let deliver_rx t (ev : Nic.rx_event) =
+  pump_frontend_posts t;
+  Hcall.burn per_packet_work;
+  Counter.incr t.mach.Machine.counters "netback.rx_packets";
+  Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
+  let ok =
+    match t.chan.Net_channel.mode with
+    | Net_channel.Flip -> deliver_flip t ev
+    | Net_channel.Copy -> deliver_copy t ev
+  in
+  if ok then t.dirty <- true
+
+let complete_tx t (frame : Frame.frame) =
+  match Hashtbl.find_opt t.tx_pending frame.Frame.index with
+  | Some gref ->
+      Hcall.burn Net_channel.ring_cost;
+      Hashtbl.remove t.tx_pending frame.Frame.index;
+      (try Hcall.grant_unmap ~dom:t.front ~gref with Hcall.Hcall_error _ -> ());
+      ignore
+        (Ring.push_response t.chan.Net_channel.tx_ring
+           { Net_channel.txr_gref = gref });
+      t.dirty <- true;
+      true
+  | None -> false
+
+let flush t =
+  restock_nic t;
+  if t.dirty then begin
+    t.dirty <- false;
+    notify t
+  end
+
+let handle_nic t =
+  pump_frontend_posts t;
+  let rec drain_rx () =
+    match Nic.rx_ready t.mach.Machine.nic with
+    | Some ev ->
+        deliver_rx t ev;
+        drain_rx ()
+    | None -> ()
+  in
+  let rec drain_tx_done () =
+    match Nic.tx_done t.mach.Machine.nic with
+    | Some (frame, _len) ->
+        ignore (complete_tx t frame);
+        drain_tx_done ()
+    | None -> ()
+  in
+  drain_rx ();
+  drain_tx_done ();
+  flush t
+
+let rx_delivered t = t.rx_delivered
+let tx_forwarded t = t.tx_forwarded
+let rx_dropped_nobuf t = t.dropped_nobuf

@@ -1,0 +1,51 @@
+(** Dom0-side network backend.
+
+    Owns the physical NIC on behalf of one frontend. The receive path is
+    the heart of experiment E3: in {!Net_channel.Flip} mode the backend's
+    per-packet work is constant (ring handling + one grant transfer),
+    independent of packet size; in {!Net_channel.Copy} mode it grows with
+    the byte count (grant map + copy + unmap). All of it is charged to
+    Dom0's cycle account.
+
+    Runs inside the Dom0 fiber; {!Dom0} routes NIC interrupts and channel
+    events here. *)
+
+type t
+
+val connect : Net_channel.t -> Vmk_hw.Machine.t -> ?nic_buffers:int -> unit -> t
+(** Backend half of the handshake. Spins (yielding) until the frontend
+    has published its port, then binds, collects the frontend's initial
+    buffer posts and stocks the NIC with [nic_buffers] receive buffers
+    (default 16). *)
+
+val port : t -> Hcall.port
+val frontend : t -> Hcall.domid
+
+val handle_event : t -> unit
+(** Process frontend activity: transmit requests (grant-map + NIC submit)
+    and replenished receive buffers. *)
+
+val handle_nic : t -> unit
+(** Drain the NIC assuming this is the only backend: deliver received
+    packets to the frontend (flip or copy), complete transmissions,
+    restock NIC buffers. With several backends, {!Dom0} drains the NIC
+    itself and routes through {!deliver_rx}/{!complete_tx}/{!flush}. *)
+
+val demux_key : t -> int
+(** The frontend's demux key: packets tagged [key·10⁶ + seq] are its. *)
+
+val deliver_rx : t -> Vmk_hw.Nic.rx_event -> unit
+(** Deliver one received packet to this backend's frontend. *)
+
+val complete_tx : t -> Vmk_hw.Frame.frame -> bool
+(** Offer a completed transmit buffer; [true] if it was this backend's. *)
+
+val flush : t -> unit
+(** Restock the NIC from the pool and notify the frontend if anything was
+    delivered since the last flush. *)
+
+val rx_delivered : t -> int
+val tx_forwarded : t -> int
+val rx_dropped_nobuf : t -> int
+(** Packets dropped because the frontend left the backend without
+    buffers (copy mode) — back-pressure under overload. *)

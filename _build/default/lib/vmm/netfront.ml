@@ -1,0 +1,183 @@
+module Frame = Vmk_hw.Frame
+module Arch = Vmk_hw.Arch
+module Machine = Vmk_hw.Machine
+
+type t = {
+  chan : Net_channel.t;
+  backend : Hcall.domid;
+  my_port : Hcall.port;
+  arch : Arch.profile;
+  tx_free : Frame.frame Queue.t;
+  tx_inflight : (Hcall.gref, Frame.frame) Hashtbl.t;
+  rx_grants : (Hcall.gref, Frame.frame) Hashtbl.t;
+  delivered : (int * int) Queue.t;
+  mutable tx_acked : int;
+  mutable rx_received : int;
+  mutable dead : bool;
+}
+
+let guard t f = try f () with Hcall.Hcall_error _ -> t.dead <- true
+let notify t = guard t (fun () -> Hcall.evtchn_send t.my_port)
+
+let post_rx_buffer t frame =
+  match t.chan.Net_channel.mode with
+  | Net_channel.Flip ->
+      guard t (fun () ->
+          let gref = Hcall.grant ~to_dom:t.backend ~frame ~readonly:false in
+          Hashtbl.replace t.rx_grants gref frame;
+          Hcall.burn Net_channel.ring_cost;
+          ignore
+            (Ring.push_request t.chan.Net_channel.rx_ring
+               (Net_channel.Rx_post_flip { flip_gref = gref })))
+  | Net_channel.Copy ->
+      guard t (fun () ->
+          let gref = Hcall.grant ~to_dom:t.backend ~frame ~readonly:false in
+          Hashtbl.replace t.rx_grants gref frame;
+          Hcall.burn Net_channel.ring_cost;
+          ignore
+            (Ring.push_request t.chan.Net_channel.rx_ring
+               (Net_channel.Rx_post_copy { rx_gref = gref })))
+
+let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
+  let my_dom = Hcall.dom_id () in
+  chan.Net_channel.front_dom <- Some my_dom;
+  let offer = Hcall.evtchn_alloc_unbound backend in
+  chan.Net_channel.offer_port <- Some offer;
+  chan.Net_channel.front_port <- Some offer;
+  let key = chan.Net_channel.key in
+  Hcall.xs_write ~path:(key ^ "/frontend-dom") ~value:(string_of_int my_dom);
+  Hcall.xs_write ~path:(key ^ "/frontend-port") ~value:(string_of_int offer);
+  let t =
+    {
+      chan;
+      backend;
+      my_port = offer;
+      arch;
+      tx_free = Queue.create ();
+      tx_inflight = Hashtbl.create 16;
+      rx_grants = Hashtbl.create 32;
+      delivered = Queue.create ();
+      tx_acked = 0;
+      rx_received = 0;
+      dead = false;
+    }
+  in
+  List.iter
+    (fun f -> Queue.add f t.tx_free)
+    (Hcall.alloc_frames 16);
+  (* Wait for the backend to bind — the XenBus handshake: watch the
+     backend-port node and block until it appears. *)
+  ignore (Hcall.xs_wait_for (key ^ "/backend-port"));
+  List.iter (post_rx_buffer t) (Hcall.alloc_frames rx_buffers);
+  notify t;
+  t
+
+let port t = t.my_port
+
+let app_copy t len =
+  (* One copy between the driver buffer and the "application" — the
+     guest-side per-byte cost of the I/O path. *)
+  Hcall.burn (Arch.copy_cost t.arch ~bytes:len)
+
+let pump t =
+  let reposted = ref false in
+  let rec drain_tx () =
+    match Ring.pop_response t.chan.Net_channel.tx_ring with
+    | Some { Net_channel.txr_gref } ->
+        Hcall.burn Net_channel.ring_cost;
+        (match Hashtbl.find_opt t.tx_inflight txr_gref with
+        | Some frame ->
+            Hashtbl.remove t.tx_inflight txr_gref;
+            guard t (fun () -> Hcall.grant_revoke txr_gref);
+            Queue.add frame t.tx_free
+        | None -> ());
+        t.tx_acked <- t.tx_acked + 1;
+        drain_tx ()
+    | None -> ()
+  in
+  let rec drain_rx () =
+    match Ring.pop_response t.chan.Net_channel.rx_ring with
+    | Some resp ->
+        Hcall.burn Net_channel.ring_cost;
+        (match resp with
+        | Net_channel.Rx_flipped { full; len } ->
+            app_copy t len;
+            Queue.add (len, full.Frame.tag) t.delivered;
+            t.rx_received <- t.rx_received + 1;
+            (* The page is ours now; hand it straight back to keep the
+               backend's pool stocked. *)
+            post_rx_buffer t full;
+            reposted := true
+        | Net_channel.Rx_copied { rxr_gref; len } -> (
+            match Hashtbl.find_opt t.rx_grants rxr_gref with
+            | Some frame ->
+                app_copy t len;
+                Queue.add (len, frame.Frame.tag) t.delivered;
+                t.rx_received <- t.rx_received + 1;
+                Hcall.burn Net_channel.ring_cost;
+                ignore
+                  (Ring.push_request t.chan.Net_channel.rx_ring
+                     (Net_channel.Rx_post_copy { rx_gref = rxr_gref }));
+                reposted := true
+            | None -> ()));
+        drain_rx ()
+    | None -> ()
+  in
+  drain_tx ();
+  drain_rx ();
+  if !reposted then notify t
+
+let send t ~len ~tag =
+  pump t;
+  if t.dead then false
+  else
+    match Queue.take_opt t.tx_free with
+    | None -> false
+    | Some frame -> (
+        Frame.set_tag frame tag;
+        match Hcall.grant ~to_dom:t.backend ~frame ~readonly:true with
+        | gref ->
+            Hcall.burn Net_channel.ring_cost;
+            if
+              Ring.push_request t.chan.Net_channel.tx_ring
+                { Net_channel.tx_gref = gref; tx_len = len }
+            then begin
+              Hashtbl.replace t.tx_inflight gref frame;
+              notify t;
+              true
+            end
+            else begin
+              (try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ());
+              Queue.add frame t.tx_free;
+              false
+            end
+        | exception Hcall.Hcall_error _ ->
+            t.dead <- true;
+            Queue.add frame t.tx_free;
+            false)
+
+let try_recv t = Queue.take_opt t.delivered
+
+let recv_blocking t ?timeout () =
+  let rec loop () =
+    pump t;
+    match try_recv t with
+    | Some packet -> Some packet
+    | None ->
+        if t.dead then None
+        else begin
+          match Hcall.block ?timeout () with
+          | Hcall.Events _ -> loop ()
+          | Hcall.Timed_out ->
+              pump t;
+              try_recv t
+          | exception Hcall.Hcall_error _ ->
+              t.dead <- true;
+              None
+        end
+  in
+  loop ()
+
+let tx_acked t = t.tx_acked
+let rx_received t = t.rx_received
+let backend_dead t = t.dead

@@ -1,0 +1,51 @@
+(** Guest-side paravirtual network driver.
+
+    Runs inside a guest domain's fiber. Transmits by granting the packet
+    buffer to the backend and notifying over the event channel; receives
+    by keeping the backend stocked with buffers (transferred pages in
+    {!Net_channel.Flip} mode, granted pages in {!Net_channel.Copy} mode)
+    and consuming responses. Every received payload is copied once into
+    the "application" — the guest-side per-byte cost, kept distinct from
+    Dom0's per-packet cost (experiment E3). *)
+
+type t
+
+val connect :
+  Net_channel.t ->
+  backend:Hcall.domid ->
+  ?arch:Vmk_hw.Arch.profile ->
+  ?rx_buffers:int ->
+  unit ->
+  t
+(** Perform the frontend half of the handshake (publishes the unbound
+    port, pre-posts [rx_buffers] receive buffers — default 32). Must be
+    called from the guest fiber before the backend connects. [arch]
+    prices the guest-side packet copies (default {!Vmk_hw.Arch.default});
+    pass the machine's profile on other platforms. *)
+
+val port : t -> Hcall.port
+(** The frontend's event-channel port (to match against
+    {!Hcall.block} results). *)
+
+val pump : t -> unit
+(** Drain ring responses: complete transmits, move received packets into
+    the local queue, replenish backend buffers. Call after every event. *)
+
+val send : t -> len:int -> tag:int -> bool
+(** Queue one packet for transmission; [false] when the TX ring is full
+    and after a pump there is still no room or no free buffer. *)
+
+val try_recv : t -> (int * int) option
+(** Pop a received [(len, tag)] if one is queued (after {!pump}). *)
+
+val recv_blocking : t -> ?timeout:int64 -> unit -> (int * int) option
+(** Block (via the scheduler) until a packet arrives; [None] on timeout
+    or if the backend appears dead. Only usable when the net channel is
+    the fiber's sole event source. *)
+
+val tx_acked : t -> int
+(** Transmit responses seen so far. *)
+
+val rx_received : t -> int
+val backend_dead : t -> bool
+(** A send or notification failed with [Dead_domain]. *)

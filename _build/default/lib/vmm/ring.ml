@@ -1,0 +1,52 @@
+type ('req, 'resp) t = {
+  capacity : int;
+  reqs : 'req Queue.t;
+  resps : 'resp Queue.t;
+  mutable req_total : int;
+  mutable resp_total : int;
+  mutable dropped : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  {
+    capacity;
+    reqs = Queue.create ();
+    resps = Queue.create ();
+    req_total = 0;
+    resp_total = 0;
+    dropped = 0;
+  }
+
+let capacity t = t.capacity
+
+let push_request t req =
+  if Queue.length t.reqs >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add req t.reqs;
+    t.req_total <- t.req_total + 1;
+    true
+  end
+
+let pop_request t = Queue.take_opt t.reqs
+
+let push_response t resp =
+  if Queue.length t.resps >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add resp t.resps;
+    t.resp_total <- t.resp_total + 1;
+    true
+  end
+
+let pop_response t = Queue.take_opt t.resps
+let requests_pending t = Queue.length t.reqs
+let responses_pending t = Queue.length t.resps
+let requests_total t = t.req_total
+let responses_total t = t.resp_total
+let dropped_total t = t.dropped

@@ -1,0 +1,32 @@
+(** Split-driver shared ring.
+
+    The frontend/backend communication structure of the Xen I/O model: a
+    bounded request ring and a bounded response ring living in a shared
+    page. Ring slots carry OCaml values; the CPU cost of ring accesses is
+    charged by the callers (they burn guest/Dom0 cycles per operation), so
+    this module is pure bookkeeping. Notification is out of band via event
+    channels. *)
+
+type ('req, 'resp) t
+
+val create : capacity:int -> unit -> ('req, 'resp) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('req, 'resp) t -> int
+
+val push_request : ('req, 'resp) t -> 'req -> bool
+(** Enqueue a request; [false] when the ring is full (frontend must back
+    off — full rings are where Dom0 saturation shows up in E3). *)
+
+val pop_request : ('req, 'resp) t -> 'req option
+val push_response : ('req, 'resp) t -> 'resp -> bool
+val pop_response : ('req, 'resp) t -> 'resp option
+val requests_pending : ('req, 'resp) t -> int
+val responses_pending : ('req, 'resp) t -> int
+
+val requests_total : ('req, 'resp) t -> int
+(** Requests ever pushed (throughput accounting). *)
+
+val responses_total : ('req, 'resp) t -> int
+val dropped_total : ('req, 'resp) t -> int
+(** Pushes rejected because a ring was full. *)

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Hashtbl Printf Vmk_guest

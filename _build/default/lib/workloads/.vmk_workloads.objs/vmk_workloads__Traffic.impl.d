@@ -1,0 +1,1 @@
+lib/workloads/traffic.ml: Int64 Vmk_hw Vmk_sim

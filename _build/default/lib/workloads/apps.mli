@@ -1,0 +1,65 @@
+(** Port-agnostic application workloads.
+
+    Each constructor returns a [unit -> unit] body written purely against
+    the {!Vmk_guest.Sys} ABI, so the identical workload runs on the
+    native, Xen and L4 ports — the precondition for every cross-structure
+    comparison in the paper (E4, E5, E8). Bodies swallow [Sys_error] into
+    the [errors] counter rather than crashing, so fault-injection
+    experiments can measure failed operations. *)
+
+type stats = {
+  mutable completed : int;  (** Operations that succeeded. *)
+  mutable errors : int;  (** Operations that raised [Sys_error]. *)
+  mutable bytes : int;  (** Payload bytes moved. *)
+}
+
+val stats : unit -> stats
+
+val null_syscalls : ?stats:stats -> iterations:int -> unit -> unit -> unit
+(** [getpid] in a tight loop with a token of user work — the lmbench
+    null-syscall microbenchmark (E4). *)
+
+val compute : ?stats:stats -> iterations:int -> work:int -> unit -> unit -> unit
+(** Pure user-mode computation; the baseline that should cost the same
+    everywhere. *)
+
+val net_rx_stream :
+  ?stats:stats -> packets:int -> unit -> unit -> unit
+(** Receive [packets] packets (the [CG05] receive side, E3). Stops early
+    when the network dies. *)
+
+val net_tx_stream :
+  ?stats:stats -> packets:int -> len:int -> unit -> unit -> unit
+
+val blk_mix :
+  ?stats:stats ->
+  ?base:int ->
+  ops:int ->
+  span:int ->
+  seed:int ->
+  unit ->
+  unit ->
+  unit
+(** Alternating block writes and read-back-verify over the sector region
+    [\[base, base+span)], deterministic in [seed]. A read returning a tag
+    that was not the last write to that sector counts as an error, and the
+    workload stops at the first failed operation (a dead storage path). *)
+
+val fs_churn :
+  ?stats:stats -> files:int -> blocks_per_file:int -> unit -> unit -> unit
+(** Create files, append blocks, read them back and verify. *)
+
+val mixed :
+  ?stats:stats ->
+  rounds:int ->
+  ?syscalls_per_round:int ->
+  ?work_per_round:int ->
+  ?net_every:int ->
+  ?packet_len:int ->
+  ?blk_every:int ->
+  unit ->
+  unit ->
+  unit
+(** The macro workload (E5, E8): per round, a burst of null syscalls,
+    some user work, a network transmit every [net_every] rounds and a
+    block write/read pair every [blk_every] rounds. *)

@@ -1,0 +1,46 @@
+module Machine = Vmk_hw.Machine
+module Nic = Vmk_hw.Nic
+module Engine = Vmk_sim.Engine
+module Rng = Vmk_sim.Rng
+
+type t = { mutable injected : int; count : int }
+
+let inject mach t ~key ~len =
+  t.injected <- t.injected + 1;
+  Nic.inject_rx mach.Machine.nic ~tag:((key * 1_000_000) + t.injected) ~len
+
+let constant_rate mach ~gate ~period ~len ~count ?(key = 1) () =
+  let t = { injected = 0; count } in
+  Engine.every mach.Machine.engine period (fun () ->
+      if t.injected < count then begin
+        if gate () then inject mach t ~key ~len;
+        true
+      end
+      else false);
+  t
+
+let poisson_rate mach ~gate ~mean_period ~len ~count ?(key = 1) () =
+  let t = { injected = 0; count } in
+  let rng = Rng.split mach.Machine.rng in
+  (* Schedule against absolute deadlines, not dispatch time: a long burn
+     that jumps the clock must not stall the arrival process. *)
+  let rec schedule at =
+    Engine.at mach.Machine.engine at (fun () ->
+        if t.injected < count then begin
+          if gate () then inject mach t ~key ~len;
+          let delay =
+            Int64.of_float (max 1.0 (Rng.exponential rng ~mean:mean_period))
+          in
+          schedule (Int64.add at delay)
+        end)
+  in
+  let first =
+    Int64.add
+      (Engine.now mach.Machine.engine)
+      (Int64.of_float (max 1.0 (Rng.exponential rng ~mean:mean_period)))
+  in
+  schedule first;
+  t
+
+let injected t = t.injected
+let done_ t = t.injected >= t.count

@@ -1,0 +1,39 @@
+(** Network traffic generators.
+
+    Drive the simulated NIC from engine events — the "external load" side
+    of the I/O experiments. Generators gate on a caller-supplied readiness
+    predicate so measurement streams start only once the driver stack is
+    up (drops during boot would pollute the CPU-share numbers E3 cares
+    about). *)
+
+type t
+(** A running traffic source. *)
+
+val constant_rate :
+  Vmk_hw.Machine.t ->
+  gate:(unit -> bool) ->
+  period:int64 ->
+  len:int ->
+  count:int ->
+  ?key:int ->
+  unit ->
+  t
+(** Inject one [len]-byte packet every [period] cycles while [gate ()]
+    holds (ticks failing the gate are skipped, not counted), until
+    [count] packets were injected. [key] is the demux key packets are
+    tagged for (default 1: tag = key·10⁶ + sequence). *)
+
+val poisson_rate :
+  Vmk_hw.Machine.t ->
+  gate:(unit -> bool) ->
+  mean_period:float ->
+  len:int ->
+  count:int ->
+  ?key:int ->
+  unit ->
+  t
+(** Exponentially distributed inter-arrival times with the given mean,
+    drawn from the machine's seeded RNG. *)
+
+val injected : t -> int
+val done_ : t -> bool

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_arch_matrix Test_core Test_guest Test_hw Test_mach Test_properties Test_sim Test_stats Test_trace Test_ukernel Test_vmm Test_workloads

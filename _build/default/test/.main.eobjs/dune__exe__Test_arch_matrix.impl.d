@@ -1,0 +1,1 @@
+test/test_arch_matrix.ml: Alcotest Int64 List Printf Vmk_core Vmk_guest Vmk_hw Vmk_sim Vmk_ukernel Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Printf Vmk_core Vmk_trace Vmk_vmm Vmk_workloads

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Hashtbl Int64 List Option Vmk_guest Vmk_hw Vmk_sim Vmk_trace Vmk_ukernel Vmk_vmm

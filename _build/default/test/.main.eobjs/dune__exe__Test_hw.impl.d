@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Arch Cache Disk Frame Int64 Irq List Machine Mmu Nic Option Page_table QCheck QCheck_alcotest Result Segments Tlb Vmk_hw Vmk_trace

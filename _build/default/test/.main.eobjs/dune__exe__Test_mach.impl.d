@@ -1,0 +1,1 @@
+test/test_mach.ml: Alcotest Int64 List Printf Vmk_hw Vmk_trace Vmk_ukernel

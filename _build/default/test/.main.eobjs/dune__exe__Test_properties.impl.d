@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Gen Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Vmk_core Vmk_hw Vmk_sim Vmk_trace Vmk_ukernel Vmk_vmm Vmk_workloads

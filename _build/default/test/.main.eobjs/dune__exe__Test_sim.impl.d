@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clock Engine Heap Int64 List Option QCheck QCheck_alcotest Rng Vmk_sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Histogram List QCheck QCheck_alcotest Regression String Summary Table Vmk_stats

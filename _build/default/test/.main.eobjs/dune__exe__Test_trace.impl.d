@@ -1,0 +1,1 @@
+test/test_trace.ml: Accounts Alcotest Counter Int64 List QCheck QCheck_alcotest Ring Vmk_trace

@@ -1,0 +1,1 @@
+test/test_ukernel.ml: Alcotest Array Blk_server Hashtbl Int64 Kernel List Mapdb Net_server Option Pager Printf Proto QCheck QCheck_alcotest Sysif Vmk_hw Vmk_sim Vmk_trace Vmk_ukernel

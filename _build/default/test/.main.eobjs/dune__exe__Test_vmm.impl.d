@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Array Blk_channel Blkfront Dom0 Evt_mux Hcall Hypervisor Int64 List Net_channel Netfront Parallax Printf Vmk_hw Vmk_sim Vmk_trace Vmk_vmm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Vmk_guest Vmk_hw Vmk_sim Vmk_trace Vmk_workloads

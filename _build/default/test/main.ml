@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "vmk"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
+      ("hw", Test_hw.suite);
+      ("ukernel", Test_ukernel.suite);
+      ("mach", Test_mach.suite);
+      ("vmm", Test_vmm.suite);
+      ("guest", Test_guest.suite);
+      ("workloads", Test_workloads.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_properties.suite);
+      ("arch-matrix", Test_arch_matrix.suite);
+    ]

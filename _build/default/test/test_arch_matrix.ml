@@ -1,0 +1,185 @@
+(* Cross-architecture battery: invariants that must hold on every one of
+   the nine platform profiles. This is the test-suite form of E7's
+   portability claim — the same code, the same assertions, nine cost
+   models. *)
+
+module Machine = Vmk_hw.Machine
+module Arch = Vmk_hw.Arch
+module Nic = Vmk_hw.Nic
+module Engine = Vmk_sim.Engine
+module Kernel = Vmk_ukernel.Kernel
+module Sysif = Vmk_ukernel.Sysif
+module Hypervisor = Vmk_vmm.Hypervisor
+module Hcall = Vmk_vmm.Hcall
+module Port_native = Vmk_guest.Port_native
+module Sys_g = Vmk_guest.Sys
+module Scenario = Vmk_core.Scenario
+module Apps = Vmk_workloads.Apps
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let for_all_archs f = List.iter (fun arch -> f arch) Arch.all
+
+(* IPC round trip completes and respects basic ordering on every arch. *)
+let test_ipc_semantics_everywhere () =
+  for_all_archs (fun arch ->
+      let mach = Machine.create ~arch ~seed:2L () in
+      let k = Kernel.create mach in
+      let echoed = ref [] in
+      let server =
+        Kernel.spawn k ~name:"server" (fun () ->
+            let rec loop (c, (m : Sysif.msg)) =
+              loop (Sysif.reply_wait c (Sysif.msg (m.Sysif.label * 2)))
+            in
+            loop (Sysif.recv Sysif.Any))
+      in
+      let _client =
+        Kernel.spawn k ~name:"client" (fun () ->
+            for i = 1 to 5 do
+              let _, reply = Sysif.call server (Sysif.msg i) in
+              echoed := reply.Sysif.label :: !echoed
+            done)
+      in
+      ignore (Kernel.run k);
+      Alcotest.(check (list int))
+        (Printf.sprintf "echo on %s" arch.Arch.name)
+        [ 10; 8; 6; 4; 2 ] !echoed)
+
+(* Same-space IPC is never dearer than cross-space IPC, on any arch. *)
+let test_same_space_never_dearer () =
+  for_all_archs (fun arch ->
+      let measure ~same_space =
+        let mach = Machine.create ~arch ~seed:2L () in
+        let k = Kernel.create mach in
+        let server_body () =
+          let rec loop (c, _) = loop (Sysif.reply_wait c (Sysif.msg 0)) in
+          loop (Sysif.recv Sysif.Any)
+        in
+        if same_space then
+          ignore
+            (Kernel.spawn k ~name:"pair" (fun () ->
+                 let server =
+                   Sysif.spawn
+                     {
+                       Sysif.name = "server";
+                       priority = Kernel.default_priority;
+                       same_space = true;
+                       pager = None;
+                       body = server_body;
+                     }
+                 in
+                 for _ = 1 to 30 do
+                   ignore (Sysif.call server (Sysif.msg 1))
+                 done))
+        else begin
+          let server = Kernel.spawn k ~name:"server" server_body in
+          ignore
+            (Kernel.spawn k ~name:"client" (fun () ->
+                 for _ = 1 to 30 do
+                   ignore (Sysif.call server (Sysif.msg 1))
+                 done))
+        end;
+        ignore (Kernel.run k);
+        Machine.now mach
+      in
+      let same = measure ~same_space:true in
+      let cross = measure ~same_space:false in
+      check_bool
+        (Printf.sprintf "%s: same (%Ld) <= cross (%Ld)" arch.Arch.name same
+           cross)
+        true
+        (Int64.compare same cross <= 0))
+
+(* The syscall-path structure holds everywhere: the trap-gate shortcut
+   fires only where the hardware provides gates + segmentation. *)
+let test_syscall_shortcut_matrix () =
+  for_all_archs (fun arch ->
+      let mach = Machine.create ~arch ~seed:2L () in
+      let h = Hypervisor.create mach in
+      let path = ref None in
+      let _ =
+        Hypervisor.create_domain h ~name:"g" (fun () ->
+            Hcall.set_trap_table ~int80_direct:true;
+            path := Some (Hcall.syscall_trap ()))
+      in
+      ignore (Hypervisor.run h);
+      let expect_fast = arch.Arch.has_trap_gates && arch.Arch.has_segmentation in
+      check_bool
+        (Printf.sprintf "%s shortcut=%b" arch.Arch.name expect_fast)
+        true
+        (!path = Some (if expect_fast then Hcall.Fast_trap_gate else Hcall.Bounced)))
+
+(* The native mini-OS port works on every platform: net + blk + fs. *)
+let test_native_port_everywhere () =
+  for_all_archs (fun arch ->
+      let mach = Machine.create ~arch ~seed:2L () in
+      Engine.after mach.Machine.engine 10_000L (fun () ->
+          Nic.inject_rx mach.Machine.nic ~tag:5 ~len:128);
+      let ok = ref false in
+      Port_native.run mach (fun () ->
+          let _ = Sys_g.net_recv () in
+          Sys_g.blk_write ~sector:1 ~len:512 ~tag:8;
+          let fd = Sys_g.fs_create "f" in
+          Sys_g.fs_append ~fd ~tag:9;
+          ok :=
+            Sys_g.blk_read ~sector:1 ~len:512 = 8
+            && Sys_g.fs_read ~fd ~index:0 = 9);
+      check_bool (Printf.sprintf "native stack on %s" arch.Arch.name) true !ok)
+
+(* Determinism holds per arch: two identical runs, identical clocks. *)
+let test_determinism_everywhere () =
+  for_all_archs (fun arch ->
+      let run () =
+        let outcome =
+          Scenario.run_xen ~arch ~net:false
+            ~app:(Apps.mixed ~rounds:8 ~net_every:0 ~blk_every:3 ())
+            ()
+        in
+        outcome.Scenario.cycles
+      in
+      let a = run () and b = run () in
+      Alcotest.(check int64) (Printf.sprintf "deterministic on %s" arch.Arch.name) a b)
+
+(* Untagged platforms pay a TLB flush on every space switch; tagged ones
+   never flush from switching. *)
+let test_tlb_flush_discipline () =
+  let flushes arch =
+    let mach = Machine.create ~arch ~seed:2L () in
+    let k = Kernel.create mach in
+    let server =
+      Kernel.spawn k ~name:"server" (fun () ->
+          let rec loop (c, _) = loop (Sysif.reply_wait c (Sysif.msg 0)) in
+          loop (Sysif.recv Sysif.Any))
+    in
+    let _client =
+      Kernel.spawn k ~name:"client" (fun () ->
+          for _ = 1 to 10 do
+            ignore (Sysif.call server (Sysif.msg 1))
+          done)
+    in
+    ignore (Kernel.run k);
+    Vmk_hw.Tlb.flushes mach.Machine.tlb
+  in
+  for_all_archs (fun arch ->
+      let n = flushes arch in
+      if arch.Arch.tlb_tagged then
+        check_int (Printf.sprintf "%s: tagged, no flushes" arch.Arch.name) 0 n
+      else
+        check_bool (Printf.sprintf "%s: untagged, flushes > 10" arch.Arch.name)
+          true (n > 10))
+
+let suite =
+  [
+    Alcotest.test_case "ipc semantics on 9 archs" `Quick
+      test_ipc_semantics_everywhere;
+    Alcotest.test_case "same-space never dearer" `Quick
+      test_same_space_never_dearer;
+    Alcotest.test_case "syscall shortcut matrix" `Quick
+      test_syscall_shortcut_matrix;
+    Alcotest.test_case "native port on 9 archs" `Quick
+      test_native_port_everywhere;
+    Alcotest.test_case "determinism on 9 archs" `Quick
+      test_determinism_everywhere;
+    Alcotest.test_case "tlb flush discipline" `Quick test_tlb_flush_discipline;
+  ]

@@ -1,0 +1,195 @@
+(* Tests for the first-generation (Mach-style) kernel variant: ports,
+   asynchronous buffered messaging, queue limits, and the cost gap vs the
+   synchronous rendezvous kernel. *)
+
+module Machine = Vmk_hw.Machine
+module Mach_kernel = Vmk_ukernel.Mach_kernel
+module Mif = Vmk_ukernel.Mach_kernel.Mif
+module Kernel = Vmk_ukernel.Kernel
+module Sysif = Vmk_ukernel.Sysif
+module Counter = Vmk_trace.Counter
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let mach = Machine.create ~seed:14L () in
+  (mach, Mach_kernel.create mach)
+
+let msg ?(words = 0) ?(ool = 0) ?(tag = 0) label =
+  { Mif.mlabel = label; inline_words = words; ool_bytes = ool; tag }
+
+let test_send_is_asynchronous () =
+  let _mach, k = fresh () in
+  let sent_before_recv = ref false in
+  let port_box = ref None in
+  let _a =
+    Mach_kernel.spawn k ~name:"a" (fun () ->
+        let port = Mif.port_create () in
+        port_box := Some port;
+        (* Send completes without any receiver. *)
+        Mif.send port (msg 1);
+        Mif.send port (msg 2);
+        sent_before_recv := true;
+        let m1 = Mif.recv port in
+        let m2 = Mif.recv port in
+        assert (m1.Mif.mlabel = 1 && m2.Mif.mlabel = 2))
+  in
+  ignore (Mach_kernel.run k);
+  check_bool "buffered send returned immediately" true !sent_before_recv;
+  check_int "no live threads" 0 (Mach_kernel.thread_count k)
+
+let test_qlimit_blocks_sender () =
+  let _mach, k = fresh () in
+  let receiver_got = ref 0 in
+  let port_box = ref None in
+  let _sender =
+    Mach_kernel.spawn k ~name:"sender" (fun () ->
+        let port = Mif.port_create ~qlimit:2 () in
+        port_box := Some port;
+        (* Third send must block until the drainer catches up. *)
+        for i = 1 to 4 do
+          Mif.send port (msg i)
+        done)
+  in
+  let _drainer =
+    Mach_kernel.spawn k ~name:"drainer" (fun () ->
+        let rec wait () =
+          match !port_box with
+          | Some p -> p
+          | None ->
+              Mif.yield ();
+              wait ()
+        in
+        let port = wait () in
+        for _ = 1 to 4 do
+          ignore (Mif.recv port);
+          incr receiver_got
+        done)
+  in
+  ignore (Mach_kernel.run k);
+  check_int "all four delivered despite qlimit 2" 4 !receiver_got
+
+let test_fifo_per_port () =
+  let _mach, k = fresh () in
+  let order = ref [] in
+  let _t =
+    Mach_kernel.spawn k ~name:"t" (fun () ->
+        let port = Mif.port_create () in
+        List.iter (fun i -> Mif.send port (msg i)) [ 3; 1; 2 ];
+        for _ = 1 to 3 do
+          order := (Mif.recv port).Mif.mlabel :: !order
+        done)
+  in
+  ignore (Mach_kernel.run k);
+  Alcotest.(check (list int)) "fifo" [ 3; 1; 2 ] (List.rev !order)
+
+let test_bad_port_errors () =
+  let _mach, k = fresh () in
+  let got_error = ref false in
+  let _t =
+    Mach_kernel.spawn k ~name:"t" (fun () ->
+        try Mif.send 9999 (msg 0)
+        with Mif.Mach_error _ -> got_error := true)
+  in
+  ignore (Mach_kernel.run k);
+  check_bool "bad port" true !got_error
+
+let test_message_counters () =
+  let mach, k = fresh () in
+  let _t =
+    Mach_kernel.spawn k ~name:"t" (fun () ->
+        let port = Mif.port_create () in
+        Mif.send port (msg 1);
+        ignore (Mif.recv port))
+  in
+  ignore (Mach_kernel.run k);
+  check_int "sent" 1 (Counter.get mach.Machine.counters "mach.msg_sent");
+  check_int "delivered" 1 (Counter.get mach.Machine.counters "mach.msg_delivered")
+
+let test_crash_contained () =
+  let mach, k = fresh () in
+  let other = ref false in
+  let _bad = Mach_kernel.spawn k ~name:"bad" (fun () -> failwith "oops") in
+  let _ok = Mach_kernel.spawn k ~name:"ok" (fun () -> other := true) in
+  ignore (Mach_kernel.run k);
+  check_bool "other ran" true !other;
+  check_int "crash counted" 1
+    (Counter.get mach.Machine.counters "mach.thread_crashed")
+
+(* The design-point gap itself, in miniature: a cross-task round trip on
+   the buffered-port kernel costs several times the rendezvous kernel's. *)
+let test_round_trip_gap () =
+  let mach_rt =
+    let mach = Machine.create ~seed:15L () in
+    let k = Mach_kernel.create mach in
+    let req_box = ref None in
+    let measured = ref 0.0 in
+    let _server =
+      Mach_kernel.spawn k ~name:"server" (fun () ->
+          let port = Mif.port_create () in
+          req_box := Some port;
+          let rec loop () =
+            let m = Mif.recv port in
+            Mif.send m.Mif.tag (msg 0);
+            loop ()
+          in
+          loop ())
+    in
+    let _client =
+      Mach_kernel.spawn k ~name:"client" (fun () ->
+          let reply = Mif.port_create () in
+          let rec wait () =
+            match !req_box with
+            | Some p -> p
+            | None ->
+                Mif.yield ();
+                wait ()
+          in
+          let req = wait () in
+          let t0 = Machine.now mach in
+          for _ = 1 to 50 do
+            Mif.send req (msg 1 ~tag:reply);
+            ignore (Mif.recv reply)
+          done;
+          measured := Int64.to_float (Int64.sub (Machine.now mach) t0) /. 50.0;
+          Mif.exit ())
+    in
+    ignore (Mach_kernel.run k ~until:(fun () -> !measured > 0.0));
+    !measured
+  in
+  let l4_rt =
+    let mach = Machine.create ~seed:15L () in
+    let k = Kernel.create mach in
+    let measured = ref 0.0 in
+    let server =
+      Kernel.spawn k ~name:"server" (fun () ->
+          let rec loop (c, _) = loop (Sysif.reply_wait c (Sysif.msg 0)) in
+          loop (Sysif.recv Sysif.Any))
+    in
+    let _client =
+      Kernel.spawn k ~name:"client" (fun () ->
+          let t0 = Machine.now mach in
+          for _ = 1 to 50 do
+            ignore (Sysif.call server (Sysif.msg 1))
+          done;
+          measured := Int64.to_float (Int64.sub (Machine.now mach) t0) /. 50.0)
+    in
+    ignore (Kernel.run k);
+    !measured
+  in
+  check_bool
+    (Printf.sprintf "mach RT (%.0f) >= 2x l4 RT (%.0f)" mach_rt l4_rt)
+    true
+    (mach_rt >= 2.0 *. l4_rt)
+
+let suite =
+  [
+    Alcotest.test_case "send is asynchronous" `Quick test_send_is_asynchronous;
+    Alcotest.test_case "qlimit blocks sender" `Quick test_qlimit_blocks_sender;
+    Alcotest.test_case "fifo per port" `Quick test_fifo_per_port;
+    Alcotest.test_case "bad port errors" `Quick test_bad_port_errors;
+    Alcotest.test_case "message counters" `Quick test_message_counters;
+    Alcotest.test_case "crash contained" `Quick test_crash_contained;
+    Alcotest.test_case "round-trip gap vs rendezvous" `Quick test_round_trip_gap;
+  ]

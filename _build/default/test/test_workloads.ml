@@ -1,0 +1,126 @@
+(* Tests for the workload library: app bodies on the native port and the
+   traffic generators. *)
+
+module Machine = Vmk_hw.Machine
+module Nic = Vmk_hw.Nic
+module Engine = Vmk_sim.Engine
+module Counter = Vmk_trace.Counter
+module Port_native = Vmk_guest.Port_native
+module Apps = Vmk_workloads.Apps
+module Traffic = Vmk_workloads.Traffic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let on_native app =
+  let mach = Machine.create ~seed:9L () in
+  Port_native.run mach app;
+  mach
+
+let test_null_syscalls_counts () =
+  let stats = Apps.stats () in
+  let mach = on_native (Apps.null_syscalls ~stats ~iterations:25 ()) in
+  check_int "completed" 25 stats.Apps.completed;
+  check_int "errors" 0 stats.Apps.errors;
+  check_int "gsys counter" 25 (Counter.get mach.Machine.counters "gsys.count")
+
+let test_compute_burns () =
+  let stats = Apps.stats () in
+  let mach = on_native (Apps.compute ~stats ~iterations:10 ~work:1_000 ()) in
+  check_int "completed" 10 stats.Apps.completed;
+  check_bool "clock moved at least 10k" true (Machine.now mach >= 10_000L)
+
+let test_blk_mix_verifies_readback () =
+  let stats = Apps.stats () in
+  let _mach = on_native (Apps.blk_mix ~stats ~ops:30 ~span:8 ~seed:3 ()) in
+  check_int "completed all ops" 30 stats.Apps.completed;
+  check_int "no corruption" 0 stats.Apps.errors;
+  check_bool "bytes counted" true (stats.Apps.bytes = 30 * 512)
+
+let test_blk_mix_base_offsets_disjoint () =
+  (* Two runs with different bases on the same machine must not clash. *)
+  let mach = Machine.create ~seed:9L () in
+  let s1 = Apps.stats () and s2 = Apps.stats () in
+  Port_native.run mach (fun () ->
+      Apps.blk_mix ~stats:s1 ~base:0 ~ops:20 ~span:8 ~seed:1 () ();
+      Apps.blk_mix ~stats:s2 ~base:1000 ~ops:20 ~span:8 ~seed:1 () ());
+  check_int "first clean" 0 s1.Apps.errors;
+  check_int "second clean" 0 s2.Apps.errors
+
+let test_fs_churn_verifies () =
+  let stats = Apps.stats () in
+  let _mach = on_native (Apps.fs_churn ~stats ~files:3 ~blocks_per_file:4 ()) in
+  check_int "no errors" 0 stats.Apps.errors;
+  check_int "writes+reads" (3 * 4 * 2) stats.Apps.completed
+
+let test_mixed_profile () =
+  let stats = Apps.stats () in
+  let mach =
+    on_native
+      (Apps.mixed ~stats ~rounds:20 ~syscalls_per_round:5 ~net_every:2
+         ~blk_every:4 ())
+  in
+  check_int "no errors" 0 stats.Apps.errors;
+  (* 20*5 getpids + 10 sends + 5 write/read pairs *)
+  check_int "op count" ((20 * 5) + 10 + 10) stats.Apps.completed;
+  check_bool "net tx happened" true (Nic.tx_submitted mach.Machine.nic = 10)
+
+let test_traffic_constant_rate_gated () =
+  let mach = Machine.create ~seed:9L () in
+  let open_gate = ref false in
+  let t =
+    Traffic.constant_rate mach
+      ~gate:(fun () -> !open_gate)
+      ~period:1_000L ~len:100 ~count:5 ()
+  in
+  Machine.burn mach 10_000;
+  check_int "gated: nothing injected" 0 (Traffic.injected t);
+  open_gate := true;
+  Machine.burn mach 10_000;
+  check_int "all injected after gate" 5 (Traffic.injected t);
+  check_bool "done" true (Traffic.done_ t);
+  Machine.burn mach 10_000;
+  check_int "stops at count" 5 (Traffic.injected t)
+
+let test_traffic_poisson_reaches_count () =
+  let mach = Machine.create ~seed:9L () in
+  let t =
+    Traffic.poisson_rate mach
+      ~gate:(fun () -> true)
+      ~mean_period:500.0 ~len:64 ~count:20 ()
+  in
+  Machine.burn mach 100_000;
+  check_bool "all injected eventually" true (Traffic.done_ t);
+  check_int "exactly count" 20 (Traffic.injected t)
+
+let test_traffic_tags_carry_demux_key () =
+  let mach = Machine.create ~seed:9L () in
+  Nic.post_rx_buffer mach.Machine.nic
+    (Vmk_hw.Frame.alloc mach.Machine.frames ~owner:"t" ());
+  let _t =
+    Traffic.constant_rate mach
+      ~gate:(fun () -> true)
+      ~period:100L ~len:64 ~count:1 ~key:7 ()
+  in
+  Machine.burn mach 1_000;
+  match Nic.rx_ready mach.Machine.nic with
+  | Some ev -> check_int "demux key" 7 (ev.Nic.tag / 1_000_000)
+  | None -> Alcotest.fail "no packet"
+
+let suite =
+  [
+    Alcotest.test_case "null_syscalls counts" `Quick test_null_syscalls_counts;
+    Alcotest.test_case "compute burns" `Quick test_compute_burns;
+    Alcotest.test_case "blk_mix verifies readback" `Quick
+      test_blk_mix_verifies_readback;
+    Alcotest.test_case "blk_mix disjoint bases" `Quick
+      test_blk_mix_base_offsets_disjoint;
+    Alcotest.test_case "fs_churn verifies" `Quick test_fs_churn_verifies;
+    Alcotest.test_case "mixed profile" `Quick test_mixed_profile;
+    Alcotest.test_case "traffic: constant rate gated" `Quick
+      test_traffic_constant_rate_gated;
+    Alcotest.test_case "traffic: poisson count" `Quick
+      test_traffic_poisson_reaches_count;
+    Alcotest.test_case "traffic: demux key" `Quick
+      test_traffic_tags_carry_demux_key;
+  ]
