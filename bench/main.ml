@@ -211,6 +211,12 @@ let tests =
                    Mif.exit ())
              in
              ignore (Vmk_ukernel.Mach_kernel.run k)));
+      Test.make ~name:"e13_l4_kill_recover"
+        (Staged.stage (fun () ->
+             ignore (Vmk_core.Exp_e13.run_one ~stack:`L4 ~rate:15 ~quick:true)));
+      Test.make ~name:"e13_vmm_kill_recover"
+        (Staged.stage (fun () ->
+             ignore (Vmk_core.Exp_e13.run_one ~stack:`Vmm ~rate:15 ~quick:true)));
       Test.make ~name:"a5_contended_io_boosted"
         (Staged.stage (fun () ->
              ignore

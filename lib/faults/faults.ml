@@ -1,0 +1,104 @@
+module Machine = Vmk_hw.Machine
+module Disk = Vmk_hw.Disk
+module Nic = Vmk_hw.Nic
+module Irq = Vmk_hw.Irq
+module Engine = Vmk_sim.Engine
+module Rng = Vmk_sim.Rng
+module Counter = Vmk_trace.Counter
+
+type disk_window = {
+  d_start : int64;
+  d_stop : int64;
+  d_mode : Disk.fault_mode;
+  d_pct : int;
+  d_sectors : (int * int) option;
+}
+
+type nic_window = {
+  n_start : int64;
+  n_stop : int64;
+  n_mode : Nic.fault_mode;
+  n_pct : int;
+}
+
+type event =
+  | Disk_faults of disk_window list
+  | Nic_faults of nic_window list
+  | Irq_storm of { line : int; at : int64; count : int; gap : int64 }
+  | Kill_at of { at : int64; target : string }
+
+type plan = event list
+
+type armed = {
+  plan : plan;
+  mutable kills_fired : (string * int64) list;  (** Newest first. *)
+}
+
+let kill_times t target =
+  List.filter_map
+    (fun (name, at) -> if name = target then Some at else None)
+    t.kills_fired
+  |> List.rev
+
+let first_kill_time t target =
+  match kill_times t target with [] -> None | at :: _ -> Some at
+
+(* Each fault window gets its own stream split off the machine RNG at arm
+   time, in plan order — the draw sequence is a pure function of
+   (machine seed, plan). *)
+let arm plan mach ~kill =
+  let engine = mach.Machine.engine in
+  let armed = { plan; kills_fired = [] } in
+  let disk_faults = ref [] and nic_faults = ref [] in
+  List.iter
+    (fun event ->
+      match event with
+      | Disk_faults windows ->
+          List.iter
+            (fun w ->
+              disk_faults :=
+                {
+                  Disk.f_start = w.d_start;
+                  f_stop = w.d_stop;
+                  f_mode = w.d_mode;
+                  f_pct = w.d_pct;
+                  f_rng = Rng.split mach.Machine.rng;
+                  f_sectors = w.d_sectors;
+                }
+                :: !disk_faults)
+            windows
+      | Nic_faults windows ->
+          List.iter
+            (fun w ->
+              nic_faults :=
+                {
+                  Nic.f_start = w.n_start;
+                  f_stop = w.n_stop;
+                  f_mode = w.n_mode;
+                  f_pct = w.n_pct;
+                  f_rng = Rng.split mach.Machine.rng;
+                }
+                :: !nic_faults)
+            windows
+      | Irq_storm { line; at; count; gap } ->
+          for i = 0 to count - 1 do
+            Engine.at engine
+              (Int64.add at (Int64.mul (Int64.of_int i) gap))
+              (fun () ->
+                Counter.incr mach.Machine.counters "faults.irq_storm";
+                Irq.raise_line mach.Machine.irq line)
+          done
+      | Kill_at { at; target } ->
+          Engine.at engine at (fun () ->
+              Counter.incr mach.Machine.counters "faults.kill";
+              armed.kills_fired <-
+                (target, Engine.now engine) :: armed.kills_fired;
+              kill target))
+    plan;
+  Disk.set_faults mach.Machine.disk (List.rev !disk_faults);
+  Nic.set_faults mach.Machine.nic (List.rev !nic_faults);
+  armed
+
+let disarm mach =
+  Disk.set_faults mach.Machine.disk [];
+  Nic.set_faults mach.Machine.nic []

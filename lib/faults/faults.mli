@@ -1,0 +1,61 @@
+(** Deterministic, engine-scheduled fault plans (E13).
+
+    A {!plan} is data: device fault windows, IRQ storms and component
+    kills at fixed virtual times. {!arm} installs it on a machine —
+    device windows go to {!Vmk_hw.Disk}/{!Vmk_hw.Nic}, storms and kills
+    become engine events. Every stochastic choice draws from a stream
+    split off the machine's seeded RNG at arm time, so the same
+    (seed, plan) pair replays bit-for-bit — the property E13's
+    determinism check asserts.
+
+    Kills are delegated to the caller through the [kill] callback
+    (mapping a target name to {!Vmk_ukernel.Kernel.kill},
+    {!Vmk_vmm.Hypervisor.kill_domain}, …), which keeps this library free
+    of kernel/VMM dependencies and lets one plan type drive both
+    stacks. *)
+
+type disk_window = {
+  d_start : int64;  (** Absolute virtual time, inclusive. *)
+  d_stop : int64;  (** Exclusive. *)
+  d_mode : Vmk_hw.Disk.fault_mode;  (** [Fail] (media error) or [Drop]. *)
+  d_pct : int;  (** Per-request fault probability, percent. *)
+  d_sectors : (int * int) option;  (** Bad-sector range, or whole disk. *)
+}
+
+type nic_window = {
+  n_start : int64;
+  n_stop : int64;
+  n_mode : Vmk_hw.Nic.fault_mode;  (** [Drop], [Corrupt] or [Duplicate]. *)
+  n_pct : int;  (** Per-packet fault probability, percent. *)
+}
+
+type event =
+  | Disk_faults of disk_window list
+  | Nic_faults of nic_window list
+  | Irq_storm of { line : int; at : int64; count : int; gap : int64 }
+      (** [count] raises of [line], [gap] cycles apart, starting at [at]. *)
+  | Kill_at of { at : int64; target : string }
+      (** Invoke the arm-time [kill] callback on [target] at time [at]. *)
+
+type plan = event list
+
+type armed = {
+  plan : plan;
+  mutable kills_fired : (string * int64) list;
+      (** (target, virtual time) of every kill that has fired, newest
+          first. *)
+}
+
+val arm : plan -> Vmk_hw.Machine.t -> kill:(string -> unit) -> armed
+(** Install the plan: set the device fault windows and schedule storms
+    and kills on the machine's engine. Counters:
+    ["faults.irq_storm"], ["faults.kill"]. *)
+
+val disarm : Vmk_hw.Machine.t -> unit
+(** Clear the device fault windows (scheduled kills/storms that have not
+    fired yet still fire). *)
+
+val kill_times : armed -> string -> int64 list
+(** Fire times recorded for a target, oldest first. *)
+
+val first_kill_time : armed -> string -> int64 option

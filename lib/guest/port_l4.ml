@@ -1,9 +1,23 @@
 module Machine = Vmk_hw.Machine
 module Counter = Vmk_trace.Counter
+module Rng = Vmk_sim.Rng
 module Sysif = Vmk_ukernel.Sysif
 module Proto = Vmk_ukernel.Proto
+module Svc = Vmk_ukernel.Svc
 
 let gk_account = "guestk"
+
+type retry = {
+  attempts : int;
+  timeout : int64;
+  base_delay : int64;
+  rng : Rng.t;
+  mach : Machine.t;
+}
+
+let retry ~mach ?(attempts = 5) ?(timeout = 2_000_000L)
+    ?(base_delay = 100_000L) rng =
+  { attempts; timeout; base_delay; rng; mach }
 
 (* Syscall opcodes on the wire between application and guest kernel. *)
 let op_getpid = 1
@@ -20,8 +34,10 @@ let op_exit = 10
 (* --- guest-kernel server --- *)
 
 type gk_state = {
-  net : Sysif.tid option;
-  blk : Sysif.tid option;
+  net : unit -> Sysif.tid option;
+      (** Resolved per attempt, so a watchdog rebind takes effect. *)
+  blk : unit -> Sysif.tid option;
+  retry : retry option;
   mutable fs : Minifs.t option;
 }
 
@@ -41,22 +57,51 @@ let kernel_work_of_op op =
 let error_reply = Sysif.msg Proto.error
 let ok_reply ?items () = Sysif.msg Proto.ok ?items
 
-let driver_call server m =
-  match Sysif.call server m with
-  | _, reply -> Some reply
-  | exception Sysif.Ipc_error _ -> None
+(* One driver RPC. Without a retry policy this is the original
+   fire-once call. With one, IPC failures (dead or wedged server) and
+   [Proto.error] replies (transient device faults) are retried against a
+   freshly resolved tid — picking up watchdog respawns — with
+   exponential backoff plus seeded jitter between attempts. *)
+let driver_call st resolve m =
+  let once ?timeout server =
+    match Sysif.call ?timeout server m with
+    | _, reply -> Some reply
+    | exception Sysif.Ipc_error _ -> None
+  in
+  match st.retry with
+  | None -> Option.bind (resolve ()) (fun server -> once server)
+  | Some r ->
+      let counters = r.mach.Machine.counters in
+      let rec attempt n =
+        let outcome =
+          Option.bind (resolve ()) (fun server ->
+              once ~timeout:r.timeout server)
+        in
+        match outcome with
+        | Some reply when reply.Sysif.label <> Proto.error -> Some reply
+        | last ->
+            if n + 1 >= r.attempts then begin
+              Counter.incr counters "l4.gaveup";
+              last
+            end
+            else begin
+              Counter.incr counters "l4.retries";
+              let backoff = Int64.mul r.base_delay (Int64.shift_left 1L n) in
+              let jitter = Int64.of_int (Rng.int r.rng 1_000) in
+              Sysif.sleep (Int64.add backoff jitter);
+              attempt (n + 1)
+            end
+      in
+      attempt 0
 
 let gk_blk_op st ~write ~sector ~bytes ~tag =
-  match st.blk with
-  | None -> None
-  | Some blk ->
-      if write then
-        driver_call blk
-          (Sysif.msg Proto.blk_write
-             ~items:[ Sysif.Words [| sector |]; Sysif.Str { bytes; tag } ])
-      else
-        driver_call blk
-          (Sysif.msg Proto.blk_read ~items:[ Sysif.Words [| sector; bytes |] ])
+  if write then
+    driver_call st st.blk
+      (Sysif.msg Proto.blk_write
+         ~items:[ Sysif.Words [| sector |]; Sysif.Str { bytes; tag } ])
+  else
+    driver_call st st.blk
+      (Sysif.msg Proto.blk_read ~items:[ Sysif.Words [| sector; bytes |] ])
 
 let gk_fs st =
   match st.fs with
@@ -88,30 +133,22 @@ let serve st (m : Sysif.msg) =
     ok_reply ()
   end
   else if op = op_net_send then begin
-    match st.net with
-    | None -> error_reply
-    | Some net -> begin
-        let bytes = Sysif.str_total m in
-        let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
-        match
-          driver_call net
-            (Sysif.msg Proto.net_send ~items:[ Sysif.Str { bytes; tag } ])
-        with
-        | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
-        | Some _ | None -> error_reply
-      end
+    let bytes = Sysif.str_total m in
+    let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+    match
+      driver_call st st.net
+        (Sysif.msg Proto.net_send ~items:[ Sysif.Str { bytes; tag } ])
+    with
+    | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
+    | Some _ | None -> error_reply
   end
   else if op = op_net_recv then begin
-    match st.net with
-    | None -> error_reply
-    | Some net -> begin
-        match driver_call net (Sysif.msg Proto.net_recv) with
-        | Some reply when reply.Sysif.label = Proto.ok ->
-            let bytes = Sysif.str_total reply in
-            let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
-            ok_reply ~items:[ Sysif.Str { bytes; tag } ] ()
-        | Some _ | None -> error_reply
-      end
+    match driver_call st st.net (Sysif.msg Proto.net_recv) with
+    | Some reply when reply.Sysif.label = Proto.ok ->
+        let bytes = Sysif.str_total reply in
+        let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
+        ok_reply ~items:[ Sysif.Str { bytes; tag } ] ()
+    | Some _ | None -> error_reply
   end
   else if op = op_blk_write then begin
     let bytes = Sysif.str_total m in
@@ -143,8 +180,20 @@ let serve st (m : Sysif.msg) =
   else if op = op_exit then ok_reply ()
   else error_reply
 
-let guest_kernel_body ~net ~blk () =
-  let st = { net; blk; fs = None } in
+let guest_kernel_body ?retry ?net_svc ?blk_svc ~net ~blk () =
+  let resolve svc fixed =
+    match svc with
+    | Some e -> fun () -> Some (Svc.tid e)
+    | None -> fun () -> fixed
+  in
+  let st =
+    {
+      net = resolve net_svc net;
+      blk = resolve blk_svc blk;
+      retry;
+      fs = None;
+    }
+  in
   let rec loop (client, m) =
     let reply = serve st m in
     match Sysif.reply_wait client reply with

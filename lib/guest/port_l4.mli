@@ -14,14 +14,41 @@
 val gk_account : string
 (** ["guestk"] — the guest-kernel server's cycle account. *)
 
+type retry
+(** Driver-RPC retry policy: bounded attempts with a per-call IPC
+    timeout and exponential backoff (plus seeded jitter) between them.
+    Counters: ["l4.retries"] per extra attempt, ["l4.gaveup"] per call
+    abandoned after the budget. *)
+
+val retry :
+  mach:Vmk_hw.Machine.t ->
+  ?attempts:int ->
+  ?timeout:int64 ->
+  ?base_delay:int64 ->
+  Vmk_sim.Rng.t ->
+  retry
+(** Defaults: 5 attempts, 2M-cycle IPC timeout, 100K-cycle base delay
+    (doubling per attempt). Derive the rng with {!Vmk_sim.Rng.split} to
+    keep streams independent. *)
+
 val guest_kernel_body :
+  ?retry:retry ->
+  ?net_svc:Vmk_ukernel.Svc.entry ->
+  ?blk_svc:Vmk_ukernel.Svc.entry ->
   net:Vmk_ukernel.Sysif.tid option ->
   blk:Vmk_ukernel.Sysif.tid option ->
   unit ->
   unit
 (** Server loop translating the mini-OS syscall protocol into driver
     RPC. A dead driver server surfaces as error replies to the
-    application, not as a server crash. *)
+    application, not as a server crash.
+
+    With [net_svc]/[blk_svc] the driver tid is re-read from the registry
+    entry before every attempt (so a watchdog respawn is picked up
+    transparently); the plain [net]/[blk] tids are used otherwise. With
+    [retry], failed driver RPC — IPC error or [Proto.error] reply — is
+    retried under the policy instead of failing the application call
+    outright. *)
 
 val app_body :
   Vmk_hw.Machine.t ->

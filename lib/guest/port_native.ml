@@ -100,11 +100,12 @@ let do_blk st op ~sector ~len ~tag =
       ack_pending_irqs st;
       Queue.add frame st.blk_free;
       match result with
-      | Some _ -> begin
+      | Some request when request.Disk.ok -> begin
           match op with
           | Disk.Read -> Sys.G_data { len; tag = frame.Frame.tag }
           | Disk.Write -> Sys.G_unit
         end
+      | Some _ -> Sys.G_error "disk request failed"
       | None -> Sys.G_error "disk never completed")
 
 let make_fs st =

@@ -8,11 +8,25 @@ module Evt_mux = Vmk_vmm.Evt_mux
 
 let io_timeout = 50_000_000L
 
+(* Recovery policy of a resilient guest: confirm the backend is dead
+   (probe), wait for the toolstack to restart it, reconnect, and retry
+   the failed operation — bounded attempts, exponential backoff. *)
+type resilience = {
+  attempts : int;
+  backoff : int64;  (** Base inter-attempt delay; doubles per attempt. *)
+  reconnect_timeout : int64;
+}
+
+let default_resilience =
+  { attempts = 6; backoff = 200_000L; reconnect_timeout = 20_000_000L }
+
 type state = {
   mach : Machine.t;
   mux : Evt_mux.t;
   net : Netfront.t option;
   blk : Blkfront.t option;
+  resilient : resilience option;
+  timeout : int64;
   mutable fs : Minifs.t option;
 }
 
@@ -26,15 +40,135 @@ let blk_exn st =
   | Some front -> front
   | None -> raise (Sys.Sys_error "no block device")
 
-let make_fs st =
+let backoff_wait st r n =
+  let delay = Int64.mul r.backoff (Int64.shift_left 1L n) in
+  match Hcall.block ~timeout:delay () with
+  | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
+  | Hcall.Timed_out -> ()
+  | exception Hcall.Hcall_error _ -> ()
+
+(* After a failed operation: if the backend is dead, reconnect against
+   its restarted incarnation and move the mux registration to the fresh
+   port. [true] if the frontend is usable again (it never died, or the
+   reconnect succeeded). *)
+let recover_blk st r front =
+  ignore (Blkfront.probe front);
+  if not (Blkfront.backend_dead front) then true
+  else if Blkfront.reconnect front ~timeout:r.reconnect_timeout () then begin
+    Evt_mux.on st.mux (Blkfront.port front) (fun () -> Blkfront.pump front);
+    Counter.incr st.mach.Machine.counters "xen.reconnects";
+    true
+  end
+  else false
+
+let recover_net st r front =
+  ignore (Netfront.probe front);
+  if not (Netfront.backend_dead front) then true
+  else if Netfront.reconnect front ~timeout:r.reconnect_timeout () then begin
+    Evt_mux.on st.mux (Netfront.port front) (fun () -> Netfront.pump front);
+    Counter.incr st.mach.Machine.counters "xen.reconnects";
+    true
+  end
+  else false
+
+(* Run [once] under the resilience policy: a [G_error] outcome triggers
+   recover + backoff + retry until the attempt budget runs out. *)
+let with_retry st ~recover once =
+  match st.resilient with
+  | None -> once ()
+  | Some r ->
+      let counters = st.mach.Machine.counters in
+      let rec attempt n =
+        match once () with
+        | Sys.G_error _ as failed ->
+            if n + 1 >= r.attempts then begin
+              Counter.incr counters "xen.gaveup";
+              failed
+            end
+            else begin
+              Counter.incr counters "xen.retries";
+              if recover st r then begin
+                backoff_wait st r n;
+                attempt (n + 1)
+              end
+              else begin
+                Counter.incr counters "xen.gaveup";
+                failed
+              end
+            end
+        | result -> result
+      in
+      attempt 0
+
+let do_net_send st ~len ~tag =
+  let front = net_exn st in
+  (* Retry while transmit resources are exhausted (ring back-pressure). *)
+  let once () =
+    let rec attempt tries =
+      if Netfront.send front ~len ~tag then Sys.G_unit
+      else if Netfront.backend_dead front then Sys.G_error "network backend dead"
+      else if tries = 0 then Sys.G_error "transmit ring saturated"
+      else begin
+        (match Hcall.block ~timeout:100_000L () with
+        | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
+        | Hcall.Timed_out -> ());
+        attempt (tries - 1)
+      end
+    in
+    attempt 32
+  in
+  with_retry st ~recover:(fun st r -> recover_net st r front) once
+
+let do_net_recv st =
+  let front = net_exn st in
+  let once () =
+    let got = ref None in
+    let arrived () =
+      Netfront.pump front;
+      (match !got with
+      | None -> got := Netfront.try_recv front
+      | Some _ -> ());
+      !got <> None || Netfront.backend_dead front
+    in
+    let ok = Evt_mux.wait st.mux ~timeout:st.timeout ~until:arrived () in
+    match (!got, ok) with
+    | Some (len, tag), _ -> Sys.G_data { len; tag }
+    | None, _ -> Sys.G_error "network receive failed"
+  in
+  with_retry st ~recover:(fun st r -> recover_net st r front) once
+
+let do_blk st op ~sector ~len ~tag =
   let front = blk_exn st in
+  let once () =
+    match op with
+    | `Write ->
+        if
+          Blkfront.write front ~mux:st.mux ~sector ~bytes:len ~tag
+            ~timeout:st.timeout ()
+        then Sys.G_unit
+        else Sys.G_error "block write failed"
+    | `Read -> begin
+        match
+          Blkfront.read front ~mux:st.mux ~sector ~bytes:len
+            ~timeout:st.timeout ()
+        with
+        | Some tag -> Sys.G_data { len; tag }
+        | None -> Sys.G_error "block read failed"
+      end
+  in
+  with_retry st ~recover:(fun st r -> recover_blk st r front) once
+
+let make_fs st =
+  ignore (blk_exn st);
   let read ~sector =
-    Blkfront.read front ~mux:st.mux ~sector ~bytes:Sys.block_size
-      ~timeout:io_timeout ()
+    match do_blk st `Read ~sector ~len:Sys.block_size ~tag:0 with
+    | Sys.G_data { tag; _ } -> Some tag
+    | _ -> None
   in
   let write ~sector ~tag =
-    Blkfront.write front ~mux:st.mux ~sector ~bytes:Sys.block_size ~tag
-      ~timeout:io_timeout ()
+    match do_blk st `Write ~sector ~len:Sys.block_size ~tag with
+    | Sys.G_unit -> true
+    | _ -> false
   in
   Minifs.create ~read ~write ()
 
@@ -45,51 +179,6 @@ let get_fs st =
       let fs = make_fs st in
       st.fs <- Some fs;
       fs
-
-let do_net_send st ~len ~tag =
-  let front = net_exn st in
-  (* Retry while transmit resources are exhausted (ring back-pressure). *)
-  let rec attempt tries =
-    if Netfront.send front ~len ~tag then Sys.G_unit
-    else if Netfront.backend_dead front then Sys.G_error "network backend dead"
-    else if tries = 0 then Sys.G_error "transmit ring saturated"
-    else begin
-      (match Hcall.block ~timeout:100_000L () with
-      | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
-      | Hcall.Timed_out -> ());
-      attempt (tries - 1)
-    end
-  in
-  attempt 32
-
-let do_net_recv st =
-  let front = net_exn st in
-  let got = ref None in
-  let arrived () =
-    Netfront.pump front;
-    (match !got with
-    | None -> got := Netfront.try_recv front
-    | Some _ -> ());
-    !got <> None || Netfront.backend_dead front
-  in
-  let ok = Evt_mux.wait st.mux ~timeout:io_timeout ~until:arrived () in
-  match (!got, ok) with
-  | Some (len, tag), _ -> Sys.G_data { len; tag }
-  | None, _ -> Sys.G_error "network receive failed"
-
-let do_blk st op ~sector ~len ~tag =
-  let front = blk_exn st in
-  match op with
-  | `Write ->
-      if Blkfront.write front ~mux:st.mux ~sector ~bytes:len ~tag
-           ~timeout:io_timeout ()
-      then Sys.G_unit
-      else Sys.G_error "block write failed"
-  | `Read -> begin
-      match Blkfront.read front ~mux:st.mux ~sector ~bytes:len ~timeout:io_timeout () with
-      | Some tag -> Sys.G_data { len; tag }
-      | None -> Sys.G_error "block read failed"
-    end
 
 let handler st call =
   match call with
@@ -123,6 +212,7 @@ let handler st call =
     end
 
 let guest_body mach ?net ?blk ?(fast_syscall = true) ?(glibc_tls = false)
+    ?(resilient = false) ?(io_timeout = io_timeout)
     ?(on_ready = fun () -> ()) ~app () =
   Hcall.set_trap_table ~int80_direct:fast_syscall;
   if glibc_tls then
@@ -148,6 +238,16 @@ let guest_body mach ?net ?blk ?(fast_syscall = true) ?(glibc_tls = false)
         front)
       blk
   in
-  let st = { mach; mux; net = net_front; blk = blk_front; fs = None } in
+  let st =
+    {
+      mach;
+      mux;
+      net = net_front;
+      blk = blk_front;
+      resilient = (if resilient then Some default_resilience else None);
+      timeout = io_timeout;
+      fs = None;
+    }
+  in
   on_ready ();
   Sys.run_with_handler ~handler:(handler st) app

@@ -13,6 +13,8 @@ val guest_body :
   ?blk:Vmk_vmm.Blk_channel.t * Vmk_vmm.Hcall.domid ->
   ?fast_syscall:bool ->
   ?glibc_tls:bool ->
+  ?resilient:bool ->
+  ?io_timeout:int64 ->
   ?on_ready:(unit -> unit) ->
   app:(unit -> unit) ->
   unit ->
@@ -23,5 +25,13 @@ val guest_body :
     [fast_syscall] (default true) registers the int80 trap-gate shortcut;
     [glibc_tls] (default false) loads a full-address-space GS descriptor
     before the app starts, invalidating the shortcut exactly as the
-    paper's glibc observation describes. The I/O timeout is 50M cycles;
-    beyond it the app sees [Sys_error]. *)
+    paper's glibc observation describes.
+
+    [io_timeout] (default 50M cycles) bounds each I/O wait; beyond it
+    the app sees an error. With [resilient] (default false), a failed
+    I/O — timeout or backend death — triggers recovery instead: probe
+    the backend, reconnect against its restarted incarnation
+    ({!Vmk_vmm.Blkfront.reconnect} generation handshake, fresh port
+    re-registered on the mux), and retry with exponential backoff,
+    bounded attempts. Counters: ["xen.retries"], ["xen.reconnects"],
+    ["xen.gaveup"]. *)

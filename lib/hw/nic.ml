@@ -1,5 +1,19 @@
 type rx_event = { frame : Frame.frame; len : int; tag : int }
 
+type fault_mode = Drop | Corrupt | Duplicate
+
+type fault = {
+  f_start : int64;
+  f_stop : int64;
+  f_mode : fault_mode;
+  f_pct : int;
+  f_rng : Vmk_sim.Rng.t;
+}
+
+(* A corrupted packet keeps its length but its payload identity is
+   scrambled; receivers that verify tags observe the damage. *)
+let corrupt_tag tag = tag lxor 0x5A5A5A
+
 type t = {
   engine : Vmk_sim.Engine.t;
   irq_ctrl : Irq.t;
@@ -8,10 +22,12 @@ type t = {
   rx_buffers : Frame.frame Queue.t;
   rx_queue : rx_event Queue.t;
   tx_queue : (Frame.frame * int) Queue.t;
+  mutable faults : fault list;
   mutable rx_injected : int;
   mutable rx_delivered : int;
   mutable rx_dropped : int;
   mutable rx_bytes : int;
+  mutable rx_faulted : int;
   mutable tx_submitted : int;
   mutable tx_completed : int;
   mutable tx_bytes : int;
@@ -26,10 +42,12 @@ let create engine irq_ctrl ~irq_line ?(wire_delay = 2000L) () =
     rx_buffers = Queue.create ();
     rx_queue = Queue.create ();
     tx_queue = Queue.create ();
+    faults = [];
     rx_injected = 0;
     rx_delivered = 0;
     rx_dropped = 0;
     rx_bytes = 0;
+    rx_faulted = 0;
     tx_submitted = 0;
     tx_completed = 0;
     tx_bytes = 0;
@@ -38,11 +56,17 @@ let create engine irq_ctrl ~irq_line ?(wire_delay = 2000L) () =
 let irq_line t = t.irq_line
 let post_rx_buffer t frame = Queue.add frame t.rx_buffers
 let rx_buffers_posted t = Queue.length t.rx_buffers
+let set_faults t faults = t.faults <- faults
 
-let inject_rx t ~tag ~len =
-  if len < 0 || len > Addr.page_size then
-    invalid_arg "Nic.inject_rx: packet length out of range";
-  t.rx_injected <- t.rx_injected + 1;
+let fault_verdict t =
+  let now = Vmk_sim.Engine.now t.engine in
+  let active fault = now >= fault.f_start && now < fault.f_stop in
+  match List.find_opt active t.faults with
+  | Some fault when Vmk_sim.Rng.int fault.f_rng 100 < fault.f_pct ->
+      Some fault.f_mode
+  | Some _ | None -> None
+
+let rec deliver t ~tag ~len =
   match Queue.take_opt t.rx_buffers with
   | None -> t.rx_dropped <- t.rx_dropped + 1
   | Some frame ->
@@ -51,6 +75,21 @@ let inject_rx t ~tag ~len =
       t.rx_delivered <- t.rx_delivered + 1;
       t.rx_bytes <- t.rx_bytes + len;
       Irq.raise_line t.irq_ctrl t.irq_line
+
+and inject_rx t ~tag ~len =
+  if len < 0 || len > Addr.page_size then
+    invalid_arg "Nic.inject_rx: packet length out of range";
+  t.rx_injected <- t.rx_injected + 1;
+  match fault_verdict t with
+  | Some Drop -> t.rx_faulted <- t.rx_faulted + 1
+  | Some Corrupt ->
+      t.rx_faulted <- t.rx_faulted + 1;
+      deliver t ~tag:(corrupt_tag tag) ~len
+  | Some Duplicate ->
+      t.rx_faulted <- t.rx_faulted + 1;
+      deliver t ~tag ~len;
+      deliver t ~tag ~len
+  | None -> deliver t ~tag ~len
 
 let rx_ready t = Queue.take_opt t.rx_queue
 let rx_pending t = Queue.length t.rx_queue
@@ -65,6 +104,7 @@ let submit_tx t frame ~len =
 
 let tx_done t = Queue.take_opt t.tx_queue
 let rx_injected t = t.rx_injected
+let rx_faulted t = t.rx_faulted
 let rx_delivered t = t.rx_delivered
 let rx_dropped t = t.rx_dropped
 let rx_bytes t = t.rx_bytes

@@ -9,7 +9,13 @@
     Cherkasova & Gardner measurement that E3 reproduces.
 
     Packet arrival is driven through {!inject_rx}, typically from
-    engine-scheduled workload generators. *)
+    engine-scheduled workload generators.
+
+    Fault injection (E13): {!set_faults} installs transient windows in
+    which an arriving packet may be dropped, corrupted (its content tag
+    scrambled so verifying receivers notice) or duplicated. Coin flips
+    draw from each window's own seeded stream, keeping runs
+    reproducible. *)
 
 type t
 
@@ -19,12 +25,29 @@ type rx_event = {
   tag : int;  (** Content identity (propagated into the frame tag). *)
 }
 
+type fault_mode =
+  | Drop  (** The packet vanishes on the wire. *)
+  | Corrupt  (** Delivered, but with a scrambled content tag. *)
+  | Duplicate  (** Delivered twice (two buffers consumed). *)
+
+type fault = {
+  f_start : int64;  (** Window start (absolute virtual time, inclusive). *)
+  f_stop : int64;  (** Window end (exclusive). *)
+  f_mode : fault_mode;
+  f_pct : int;  (** Per-packet fault probability in percent. *)
+  f_rng : Vmk_sim.Rng.t;  (** Dedicated stream for the coin flips. *)
+}
+
 val create :
   Vmk_sim.Engine.t -> Irq.t -> irq_line:int -> ?wire_delay:int64 -> unit -> t
 (** A NIC raising [irq_line] on the given controller. [wire_delay] is the
     transmit completion latency (default 2000 cycles). *)
 
 val irq_line : t -> int
+
+val set_faults : t -> fault list -> unit
+(** Install the fault windows (replacing any previous set). An arriving
+    packet is judged against the first window active at arrival time. *)
 
 (** {1 Receive} *)
 
@@ -56,6 +79,9 @@ val tx_done : t -> (Frame.frame * int) option
 (** {1 Statistics} *)
 
 val rx_injected : t -> int
+val rx_faulted : t -> int
+(** Packets hit by an active fault window (dropped/corrupted/duplicated). *)
+
 val rx_delivered : t -> int
 val rx_dropped : t -> int
 val rx_bytes : t -> int

@@ -29,7 +29,8 @@ let body mach ?(buffers = 8) () =
           | Some entry ->
               Hashtbl.remove inflight request.Disk.id;
               let reply =
-                if entry.read then
+                if not request.Disk.ok then Sysif.msg Proto.error
+                else if entry.read then
                   Sysif.msg Proto.ok
                     ~items:
                       [
@@ -50,6 +51,8 @@ let body mach ?(buffers = 8) () =
     drain ()
   in
   let handle_client client (m : Sysif.msg) =
+    if m.Sysif.label = Proto.ping then reply_safely client (Sysif.msg Proto.ok)
+    else
     let w = Sysif.words m in
     let sector = if Array.length w > 0 then w.(0) else 0 in
     match Queue.take_opt free with

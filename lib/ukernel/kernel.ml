@@ -450,6 +450,23 @@ let kill k tid =
       terminate k tcb
   | None -> ()
 
+(* Unwind-kill: instead of vaporising the TCB on the spot, deliver
+   [R_error Killed] as the outcome of whatever the victim is doing. The
+   wrapper raises [Ipc_error Killed], the exception unwinds the fiber and
+   the exnc handler terminates it — so [Sysif.Killed] is genuinely
+   observable and any [Fun.protect]-style cleanup in the victim runs. A
+   thread that has not started yet has no operation to fail; it is
+   terminated directly. *)
+let inject_kill k tid =
+  match find_alive k tid with
+  | None -> ()
+  | Some tcb ->
+      Counter.incr k.mach.Machine.counters "uk.thread.killed";
+      tcb.faulting <- None;
+      tcb.out_msg <- None;
+      if tcb.body <> None || tcb.state = Running then terminate k tcb
+      else ready k tcb (R_error Killed)
+
 let is_alive k tid = find_alive k tid <> None
 
 let state_name k tid =
@@ -565,7 +582,13 @@ let handle_syscall k (tcb : tcb) call =
               ready k tcb R_unit
           | Set_pager pager ->
               tcb.pager <- Some pager;
-              ready k tcb R_unit)
+              ready k tcb R_unit
+          | Kill_thread victim ->
+              if victim = tcb.tid then terminate k tcb
+              else begin
+                inject_kill k victim;
+                ready k tcb R_unit
+              end)
 
 (* --- Fibers --- *)
 

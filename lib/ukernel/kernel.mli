@@ -60,6 +60,13 @@ val kill : t -> Sysif.tid -> unit
     attachments are dropped. Killing the last thread of a space revokes
     the space's mappings from the mapping database. *)
 
+val inject_kill : t -> Sysif.tid -> unit
+(** Unwind-kill (also the [Kill_thread] syscall): the victim's pending
+    operation completes with [R_error Killed], so the wrapper raises
+    {!Sysif.Ipc_error}[ Killed] inside its fiber and the unwind terminates
+    it. Unlike {!kill}, the death is observable from inside the victim. A
+    thread that never started is terminated directly. *)
+
 val is_alive : t -> Sysif.tid -> bool
 
 val state_name : t -> Sysif.tid -> string

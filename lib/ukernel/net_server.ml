@@ -54,7 +54,8 @@ let handle_irq st =
   flush_rx st
 
 let handle_client st client (m : Sysif.msg) =
-  if m.Sysif.label = Proto.net_send then begin
+  if m.Sysif.label = Proto.ping then reply_safely client (Sysif.msg Proto.ok)
+  else if m.Sysif.label = Proto.net_send then begin
     let bytes = Sysif.str_total m in
     let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
     match Queue.take_opt st.free_tx with

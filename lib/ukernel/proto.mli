@@ -13,6 +13,10 @@ val net_send : int
 val net_recv : int
 val blk_read : int
 val blk_write : int
+
+val ping : int
+(** Liveness probe: servers answer [ok] immediately (watchdog protocol). *)
+
 val ok : int
 val error : int
 

@@ -1,0 +1,13 @@
+type entry = {
+  name : string;
+  mutable tid : Sysif.tid;
+  mutable generation : int;
+}
+
+let entry ~name tid = { name; tid; generation = 0 }
+let tid e = e.tid
+let generation e = e.generation
+
+let rebind e tid =
+  e.tid <- tid;
+  e.generation <- e.generation + 1

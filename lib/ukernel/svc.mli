@@ -1,0 +1,21 @@
+(** Service registry entries: a level of indirection between clients and
+    server thread ids, so a respawned server can take over a name.
+
+    On a real L4 this is a name server; here a shared mutable record is
+    enough — clients re-read {!tid} before every attempt, the watchdog
+    calls {!rebind} after a respawn. *)
+
+type entry = {
+  name : string;
+  mutable tid : Sysif.tid;
+  mutable generation : int;  (** Bumped on every {!rebind}. *)
+}
+
+val entry : name:string -> Sysif.tid -> entry
+(** [entry ~name tid] registers generation 0 of the service. *)
+
+val tid : entry -> Sysif.tid
+val generation : entry -> int
+
+val rebind : entry -> Sysif.tid -> unit
+(** Point the name at a fresh thread and bump the generation. *)

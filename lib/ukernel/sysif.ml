@@ -72,6 +72,7 @@ type call =
   | Irq_attach of int
   | Irq_detach of int
   | Set_pager of tid
+  | Kill_thread of tid
 
 type reply =
   | R_unit
@@ -133,6 +134,7 @@ let unmap fp = expect_unit (invoke (Unmap fp))
 let irq_attach line = expect_unit (invoke (Irq_attach line))
 let irq_detach line = expect_unit (invoke (Irq_detach line))
 let set_pager tid = expect_unit (invoke (Set_pager tid))
+let kill_thread tid = expect_unit (invoke (Kill_thread tid))
 
 let pp_error ppf = function
   | Dead_partner -> Format.pp_print_string ppf "dead-partner"

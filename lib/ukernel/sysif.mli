@@ -86,6 +86,10 @@ type call =
   | Irq_attach of int  (** Become handler for interrupt line n. *)
   | Irq_detach of int
   | Set_pager of tid
+  | Kill_thread of tid
+      (** Unwind-kill the target: its pending operation fails with
+          [R_error Killed] and the raised {!Ipc_error} unwinds its fiber
+          (the watchdog's recourse against a wedged server). *)
 
 type reply =
   | R_unit
@@ -120,5 +124,6 @@ val unmap : fpage -> unit
 val irq_attach : int -> unit
 val irq_detach : int -> unit
 val set_pager : tid -> unit
+val kill_thread : tid -> unit
 
 val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,44 @@
+module Machine = Vmk_hw.Machine
+module Counter = Vmk_trace.Counter
+
+type t = {
+  stop : bool ref;
+  mutable respawns : (string * int64) list;
+}
+
+let create () = { stop = ref false; respawns = [] }
+let stop t = t.stop := true
+let respawns t = List.rev t.respawns
+
+let ping entry ~timeout =
+  try
+    let _, reply =
+      Sysif.call ~timeout (Svc.tid entry) (Sysif.msg Proto.ping)
+    in
+    reply.Sysif.label = Proto.ok
+  with Sysif.Ipc_error _ -> false
+
+let body mach t ~period ~ping_timeout services () =
+  let counters = mach.Machine.counters in
+  let rec loop () =
+    if !(t.stop) then Sysif.exit ()
+    else begin
+      List.iter
+        (fun (entry, respawn) ->
+          if not (ping entry ~timeout:ping_timeout) then begin
+            (* A wedged-but-alive server still holds buffers and its
+               interrupt line; unwind-kill it before handing the name to
+               a replacement. Killing a corpse is a harmless no-op. *)
+            (try Sysif.kill_thread (Svc.tid entry)
+             with Sysif.Ipc_error _ -> ());
+            let tid = Sysif.spawn (respawn ()) in
+            Svc.rebind entry tid;
+            t.respawns <- (entry.Svc.name, Machine.now mach) :: t.respawns;
+            Counter.incr counters "uk.watchdog.respawn"
+          end)
+        services;
+      Sysif.sleep period;
+      loop ()
+    end
+  in
+  loop ()

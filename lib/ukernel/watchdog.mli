@@ -1,0 +1,32 @@
+(** User-level watchdog thread: the microkernel recovery story.
+
+    The watchdog periodically pings each registered service
+    ({!Proto.ping} with a bounded IPC timeout). A server that is dead
+    ([Dead_partner]) or wedged ([Timeout]) is unwind-killed and a
+    replacement is spawned from its factory; the {!Svc.entry} is rebound
+    so clients that re-read the entry find the new thread. This is the
+    paper's §3 claim in action: because drivers are ordinary threads,
+    restarting one is an ordinary spawn — no reboot, no kernel change. *)
+
+type t
+
+val create : unit -> t
+
+val stop : t -> unit
+(** Ask the watchdog to exit at its next wakeup (so [Kernel.run] without
+    [until] can still reach quiescence). *)
+
+val respawns : t -> (string * int64) list
+(** [(service name, virtual time)] of every respawn, oldest first. *)
+
+val body :
+  Vmk_hw.Machine.t ->
+  t ->
+  period:int64 ->
+  ping_timeout:int64 ->
+  (Svc.entry * (unit -> Sysif.spawn_spec)) list ->
+  unit ->
+  unit
+(** Thread body. [services] pairs each registry entry with a factory
+    producing the spawn spec for a replacement instance. Counter:
+    ["uk.watchdog.respawn"]. *)

@@ -16,18 +16,47 @@ type t = {
   mutable served : int;
 }
 
-let connect chan mach () =
+(* Generation 0 is the classic handshake under [key/]. A restarted
+   backend cannot rebind the old frontend port (it is Bound to the dead
+   domain), so reconnects negotiate a fresh port pair under
+   [key/g<n>/]: the backend publishes its domid there, bumps [key/gen]
+   (the frontend's cue), and waits for the frontend's fresh offer. *)
+let connect_opt ?timeout ?(generation = 0) chan mach () =
   let key = chan.Blk_channel.key in
-  let front =
-    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-dom")))
+  let sub path =
+    if generation = 0 then key ^ "/" ^ path
+    else Printf.sprintf "%s/g%d/%s" key generation path
   in
-  let offer =
-    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-port")))
-  in
-  let my_port = Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer in
-  chan.Blk_channel.back_port <- Some my_port;
-  Hcall.xs_write ~path:(key ^ "/backend-port") ~value:(string_of_int my_port);
-  { chan; mach; front; my_port; inflight = Hashtbl.create 16; served = 0 }
+  if generation > 0 then begin
+    Hcall.xs_write ~path:(sub "backend-dom")
+      ~value:(string_of_int (Hcall.dom_id ()));
+    Hcall.xs_write ~path:(key ^ "/gen") ~value:(string_of_int generation)
+  end;
+  match Hcall.xs_wait_for ?timeout (sub "frontend-dom") with
+  | None -> None
+  | Some front_s -> (
+      match Hcall.xs_wait_for ?timeout (sub "frontend-port") with
+      | None -> None
+      | Some offer_s -> (
+          let front = int_of_string front_s in
+          let offer = int_of_string offer_s in
+          match Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer with
+          | my_port ->
+              chan.Blk_channel.back_port <- Some my_port;
+              Hcall.xs_write ~path:(sub "backend-port")
+                ~value:(string_of_int my_port);
+              Some
+                {
+                  chan;
+                  mach;
+                  front;
+                  my_port;
+                  inflight = Hashtbl.create 16;
+                  served = 0;
+                }
+          | exception Hcall.Hcall_error _ -> None))
+
+let connect chan mach () = Option.get (connect_opt chan mach ())
 
 let port t = t.my_port
 let frontend t = t.front
@@ -72,7 +101,7 @@ let try_complete t (request : Disk.request) =
       Hashtbl.remove t.inflight request.Disk.id;
       Hcall.burn per_request_work;
       (try Hcall.grant_unmap ~dom:t.front ~gref with Hcall.Hcall_error _ -> ());
-      respond t ring_id true;
+      respond t ring_id request.Disk.ok;
       t.served <- t.served + 1;
       true
   | None -> false

@@ -11,6 +11,20 @@ val connect : Blk_channel.t -> Vmk_hw.Machine.t -> unit -> t
 (** Backend half of the handshake (spins until the frontend published its
     port). *)
 
+val connect_opt :
+  ?timeout:int64 ->
+  ?generation:int ->
+  Blk_channel.t ->
+  Vmk_hw.Machine.t ->
+  unit ->
+  t option
+(** Like {!connect} but with a bounded wait ([None] on timeout or bind
+    failure). [generation > 0] runs the reconnect handshake of a
+    restarted backend: publish [key/g<n>/backend-dom], bump [key/gen] to
+    cue the frontend, and negotiate a fresh port pair under the [g<n>]
+    subtree (the old port is unusable — it is bound to the dead
+    predecessor). *)
+
 val port : t -> Hcall.port
 val frontend : t -> Hcall.domid
 

@@ -3,12 +3,13 @@ module Arch = Vmk_hw.Arch
 
 type t = {
   chan : Blk_channel.t;
-  backend : Hcall.domid;
+  mutable backend : Hcall.domid;
   arch : Arch.profile;
   free : Frame.frame Queue.t;
   inflight : (int, Hcall.gref * Frame.frame) Hashtbl.t;
   completed : (int, bool) Hashtbl.t;
-  my_port : Hcall.port;
+  mutable my_port : Hcall.port;
+  mutable generation : int;
   mutable next_id : int;
   mutable issued : int;
   mutable dead : bool;
@@ -32,6 +33,7 @@ let connect chan ~backend ?(arch = Arch.default) ?(buffers = 8) () =
       inflight = Hashtbl.create 8;
       completed = Hashtbl.create 8;
       my_port = offer;
+      generation = 0;
       next_id = 0;
       issued = 0;
       dead = false;
@@ -139,3 +141,71 @@ let write t ~mux ~sector ~bytes ~tag ?timeout () =
 
 let requests_issued t = t.issued
 let backend_dead t = t.dead
+let generation t = t.generation
+
+(* A notification to a dead backend comes back [Dead_domain]; to a live
+   one it is a harmless spurious event. The cheapest liveness check a
+   frontend has. *)
+let probe t =
+  if not t.dead then begin
+    try Hcall.evtchn_send t.my_port with Hcall.Hcall_error _ -> t.dead <- true
+  end;
+  t.dead
+
+let reconnect t ?timeout () =
+  let key = t.chan.Blk_channel.key in
+  (* Abandon everything shared with the dead backend: stale ring slots,
+     in-flight grants (revoke may fail while the corpse still maps the
+     page — swallow it), and completions that will never be claimed. *)
+  let rec drain_req () =
+    match Ring.pop_request t.chan.Blk_channel.ring with
+    | Some _ -> drain_req ()
+    | None -> ()
+  in
+  let rec drain_resp () =
+    match Ring.pop_response t.chan.Blk_channel.ring with
+    | Some _ -> drain_resp ()
+    | None -> ()
+  in
+  drain_req ();
+  drain_resp ();
+  Hashtbl.iter
+    (fun _ (gref, frame) ->
+      (try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ());
+      Queue.add frame t.free)
+    t.inflight;
+  Hashtbl.reset t.inflight;
+  Hashtbl.reset t.completed;
+  let newer v =
+    match int_of_string_opt v with
+    | Some g -> g > t.generation
+    | None -> false
+  in
+  match Hcall.xs_wait_pred ?timeout (key ^ "/gen") newer with
+  | None -> false
+  | Some gen_s -> (
+      let g = int_of_string gen_s in
+      let sub path = Printf.sprintf "%s/g%d/%s" key g path in
+      match Hcall.xs_read (sub "backend-dom") with
+      | None -> false
+      | Some back_s -> (
+          let backend = int_of_string back_s in
+          match Hcall.evtchn_alloc_unbound backend with
+          | offer -> (
+              let my_dom = Hcall.dom_id () in
+              t.chan.Blk_channel.front_dom <- Some my_dom;
+              t.chan.Blk_channel.offer_port <- Some offer;
+              t.chan.Blk_channel.front_port <- Some offer;
+              Hcall.xs_write ~path:(sub "frontend-dom")
+                ~value:(string_of_int my_dom);
+              Hcall.xs_write ~path:(sub "frontend-port")
+                ~value:(string_of_int offer);
+              match Hcall.xs_wait_for ?timeout (sub "backend-port") with
+              | None -> false
+              | Some _ ->
+                  t.backend <- backend;
+                  t.my_port <- offer;
+                  t.generation <- g;
+                  t.dead <- false;
+                  true)
+          | exception Hcall.Hcall_error _ -> false))

@@ -41,3 +41,20 @@ val write :
 
 val requests_issued : t -> int
 val backend_dead : t -> bool
+
+val generation : t -> int
+(** Reconnect generation: 0 for the original connection, then the
+    backend's [key/gen] value after each successful {!reconnect}. *)
+
+val probe : t -> bool
+(** Liveness check: send a (harmless, spurious) notification to the
+    backend; [Dead_domain] marks the frontend dead. Returns
+    {!backend_dead}'s new value. *)
+
+val reconnect : t -> ?timeout:int64 -> unit -> bool
+(** Recover from a backend death against a restarted backend domain:
+    drop all state shared with the corpse (ring slots, in-flight grants,
+    unclaimed completions), wait for a [key/gen] strictly above our own,
+    and redo the handshake under the [key/g<n>/] subtree with a fresh
+    port pair. [false] on timeout. After [true], re-register {!port}
+    (it changed) on the event mux. *)

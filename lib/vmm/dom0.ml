@@ -3,10 +3,38 @@ module Disk = Vmk_hw.Disk
 
 let name = "dom0"
 
-let body mach ?(net = []) ?(blk = []) () =
+let body mach ?connect_timeout ?generation ?(net = []) ?(blk = []) () =
   let mux = Evt_mux.create () in
-  let netbacks = List.map (fun chan -> Netback.connect chan mach ()) net in
-  let blkbacks = List.map (fun chan -> Blkback.connect chan mach ()) blk in
+  (* A channel whose frontend never shows up used to hang Dom0 in the
+     handshake forever; with a timeout it is logged and dropped, and
+     Dom0 serves whoever did connect. *)
+  let dropped kind chan_key =
+    Logs.warn (fun m ->
+        m "dom0: %s frontend never connected on %s; dropping channel" kind
+          chan_key);
+    Vmk_trace.Counter.incr mach.Machine.counters "dom0.connect_dropped";
+    None
+  in
+  let netbacks =
+    List.filter_map
+      (fun chan ->
+        match
+          Netback.connect_opt ?timeout:connect_timeout ?generation chan mach ()
+        with
+        | Some back -> Some back
+        | None -> dropped "net" chan.Net_channel.key)
+      net
+  in
+  let blkbacks =
+    List.filter_map
+      (fun chan ->
+        match
+          Blkback.connect_opt ?timeout:connect_timeout ?generation chan mach ()
+        with
+        | Some back -> Some back
+        | None -> dropped "blk" chan.Blk_channel.key)
+      blk
+  in
   let handle_disk () =
     let rec drain () =
       match Disk.completed mach.Machine.disk with

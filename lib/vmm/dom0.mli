@@ -12,6 +12,8 @@ val name : string
 
 val body :
   Vmk_hw.Machine.t ->
+  ?connect_timeout:int64 ->
+  ?generation:int ->
   ?net:Net_channel.t list ->
   ?blk:Blk_channel.t list ->
   unit ->
@@ -19,5 +21,13 @@ val body :
 (** The Dom0 kernel: create with
     [Hypervisor.create_domain h ~name:Dom0.name ~privileged:true
       (Dom0.body mach ~net ~blk)].
-    Every channel in [net]/[blk] must eventually be connected by a
-    frontend, or Dom0 spins waiting. *)
+
+    Without [connect_timeout], every channel in [net]/[blk] must
+    eventually be connected by a frontend or Dom0 blocks in the
+    handshake forever. With it, a channel whose frontend never appears
+    within the bound is logged and dropped (counter
+    ["dom0.connect_dropped"]) and Dom0 serves the rest.
+
+    [generation > 0] is for a restarted Dom0: each backend runs the
+    reconnect handshake under the channel's [key/g<n>/] subtree (see
+    {!Blkback.connect_opt}) so surviving frontends can rebind. *)

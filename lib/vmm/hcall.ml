@@ -187,6 +187,21 @@ let xs_wait_for ?timeout path =
   in
   wait ()
 
+let xs_wait_pred ?timeout path pred =
+  let _port = xs_watch path in
+  let ok () =
+    match xs_read path with Some v when pred v -> Some v | Some _ | None -> None
+  in
+  let rec wait () =
+    match ok () with
+    | Some v -> Some v
+    | None -> (
+        match block ?timeout () with
+        | Events _ -> wait ()
+        | Timed_out -> ok ())
+  in
+  wait ()
+
 let exit () =
   ignore (invoke H_exit);
   assert false

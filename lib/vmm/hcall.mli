@@ -160,6 +160,11 @@ val xs_wait_for : ?timeout:int64 -> string -> string option
     received while waiting are lost to the caller — use before wiring an
     {!Evt_mux}, as drivers do during connect. *)
 
+val xs_wait_pred : ?timeout:int64 -> string -> (string -> bool) -> string option
+(** Like {!xs_wait_for} but blocks until the value satisfies the
+    predicate — e.g. waiting for a backend's reconnect generation to
+    exceed one's own. Same caveat about events for other ports. *)
+
 val exit : unit -> 'a
 
 val pp_error : Format.formatter -> error -> unit

@@ -145,6 +145,40 @@ let create_domain h ~name ?(privileged = false) ?(weight = 256)
 let is_alive h domid = find_alive h domid <> None
 let domain_name h domid = Option.map (fun d -> d.name) (find h domid)
 
+(* --- driver-domain supervision --- *)
+
+type supervisor = {
+  mutable current : domid;
+  mutable restarts : (int64 * domid) list;  (** Newest first. *)
+  sup_stop : bool ref;
+}
+
+let supervised_domid s = s.current
+let restarts s = List.rev s.restarts
+let stop_supervisor s = s.sup_stop := true
+
+let supervise h ~name ?(privileged = false) ?(weight = 256)
+    ?(pt_mode = Paravirt) ~period ~make_body domid0 =
+  let sup = { current = domid0; restarts = []; sup_stop = ref false } in
+  let n = ref 0 in
+  let engine = h.mach.Machine.engine in
+  Engine.every engine period (fun () ->
+      if !(sup.sup_stop) then false
+      else begin
+        if not (is_alive h sup.current) then begin
+          incr n;
+          let domid =
+            create_domain h ~name ~privileged ~weight ~pt_mode
+              (make_body ~restart:!n)
+          in
+          sup.current <- domid;
+          sup.restarts <- (Engine.now engine, domid) :: sup.restarts;
+          Counter.incr h.mach.Machine.counters "vmm.supervisor_restart"
+        end;
+        true
+      end);
+  sup
+
 let domain_count h =
   Hashtbl.fold
     (fun _ d acc -> if d.state <> Dead then acc + 1 else acc)

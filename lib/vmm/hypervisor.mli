@@ -59,6 +59,37 @@ val kill_domain : t -> Hcall.domid -> unit
     they discover through send errors and block timeouts, which is the
     §3.1 liability-inversion behaviour under test. *)
 
+type supervisor
+(** Toolstack-style babysitter for a (driver) domain: an engine timer
+    that polls liveness every [period] cycles and replaces a dead domain
+    with a fresh one. The VMM analog of the microkernel's
+    {!Vmk_ukernel.Watchdog} — restart is domain creation, which is why
+    frontends then need the generation reconnect handshake. *)
+
+val supervise :
+  t ->
+  name:string ->
+  ?privileged:bool ->
+  ?weight:int ->
+  ?pt_mode:pt_mode ->
+  period:int64 ->
+  make_body:(restart:int -> unit -> unit) ->
+  Hcall.domid ->
+  supervisor
+(** [supervise h ~name ~period ~make_body domid0] watches [domid0]; on
+    death, runs [make_body ~restart:n] (n = 1, 2, …) in a new domain.
+    Counter: ["vmm.supervisor_restart"]. Call {!stop_supervisor} before
+    the final drain — the poll timer otherwise keeps the engine busy
+    forever. *)
+
+val supervised_domid : supervisor -> Hcall.domid
+(** The currently live incarnation. *)
+
+val restarts : supervisor -> (int64 * Hcall.domid) list
+(** [(virtual time, new domid)] per restart, oldest first. *)
+
+val stop_supervisor : supervisor -> unit
+
 val is_alive : t -> Hcall.domid -> bool
 val domain_name : t -> Hcall.domid -> string option
 val domain_count : t -> int

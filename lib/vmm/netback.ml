@@ -49,38 +49,58 @@ let pump_frontend_posts t =
   drain ();
   restock_nic t
 
-let connect chan mach ?(nic_buffers = 16) () =
-  (* XenBus handshake: block on the frontend's published nodes. *)
+(* XenBus handshake; see {!Blkback.connect_opt} for the generation
+   scheme shared by both backends. *)
+let connect_opt ?timeout ?(generation = 0) chan mach ?(nic_buffers = 16) () =
   let key = chan.Net_channel.key in
-  let front =
-    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-dom")))
+  let sub path =
+    if generation = 0 then key ^ "/" ^ path
+    else Printf.sprintf "%s/g%d/%s" key generation path
   in
-  let offer =
-    int_of_string (Option.get (Hcall.xs_wait_for (key ^ "/frontend-port")))
-  in
-  let my_port = Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer in
-  chan.Net_channel.back_port <- Some my_port;
-  Hcall.xs_write ~path:(key ^ "/backend-port") ~value:(string_of_int my_port);
-  let t =
-    {
-      chan;
-      mach;
-      front;
-      my_port;
-      pool = Queue.create ();
-      flip_posts = Queue.create ();
-      copy_grants = Queue.create ();
-      tx_pending = Hashtbl.create 32;
-      nic_target = nic_buffers;
-      rx_delivered = 0;
-      tx_forwarded = 0;
-      dropped_nobuf = 0;
-      dirty = false;
-    }
-  in
-  List.iter (fun f -> Queue.add f t.pool) (Hcall.alloc_frames nic_buffers);
-  pump_frontend_posts t;
-  t
+  if generation > 0 then begin
+    Hcall.xs_write ~path:(sub "backend-dom")
+      ~value:(string_of_int (Hcall.dom_id ()));
+    Hcall.xs_write ~path:(key ^ "/gen") ~value:(string_of_int generation)
+  end;
+  match Hcall.xs_wait_for ?timeout (sub "frontend-dom") with
+  | None -> None
+  | Some front_s -> (
+      match Hcall.xs_wait_for ?timeout (sub "frontend-port") with
+      | None -> None
+      | Some offer_s -> (
+          let front = int_of_string front_s in
+          let offer = int_of_string offer_s in
+          match Hcall.evtchn_bind ~remote_dom:front ~remote_port:offer with
+          | my_port ->
+              chan.Net_channel.back_port <- Some my_port;
+              Hcall.xs_write ~path:(sub "backend-port")
+                ~value:(string_of_int my_port);
+              let t =
+                {
+                  chan;
+                  mach;
+                  front;
+                  my_port;
+                  pool = Queue.create ();
+                  flip_posts = Queue.create ();
+                  copy_grants = Queue.create ();
+                  tx_pending = Hashtbl.create 32;
+                  nic_target = nic_buffers;
+                  rx_delivered = 0;
+                  tx_forwarded = 0;
+                  dropped_nobuf = 0;
+                  dirty = false;
+                }
+              in
+              List.iter
+                (fun f -> Queue.add f t.pool)
+                (Hcall.alloc_frames nic_buffers);
+              pump_frontend_posts t;
+              Some t
+          | exception Hcall.Hcall_error _ -> None))
+
+let connect chan mach ?nic_buffers () =
+  Option.get (connect_opt chan mach ?nic_buffers ())
 
 let port t = t.my_port
 let frontend t = t.front

@@ -18,6 +18,18 @@ val connect : Net_channel.t -> Vmk_hw.Machine.t -> ?nic_buffers:int -> unit -> t
     buffer posts and stocks the NIC with [nic_buffers] receive buffers
     (default 16). *)
 
+val connect_opt :
+  ?timeout:int64 ->
+  ?generation:int ->
+  Net_channel.t ->
+  Vmk_hw.Machine.t ->
+  ?nic_buffers:int ->
+  unit ->
+  t option
+(** Like {!connect} but with a bounded wait ([None] on timeout or bind
+    failure). [generation > 0] runs the restarted-backend reconnect
+    handshake under the [key/g<n>/] subtree — see {!Blkback.connect_opt}. *)
+
 val port : t -> Hcall.port
 val frontend : t -> Hcall.domid
 

@@ -4,8 +4,9 @@ module Machine = Vmk_hw.Machine
 
 type t = {
   chan : Net_channel.t;
-  backend : Hcall.domid;
-  my_port : Hcall.port;
+  mutable backend : Hcall.domid;
+  mutable my_port : Hcall.port;
+  mutable generation : int;
   arch : Arch.profile;
   tx_free : Frame.frame Queue.t;
   tx_inflight : (Hcall.gref, Frame.frame) Hashtbl.t;
@@ -52,6 +53,7 @@ let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
       chan;
       backend;
       my_port = offer;
+      generation = 0;
       arch;
       tx_free = Queue.create ();
       tx_inflight = Hashtbl.create 16;
@@ -181,3 +183,70 @@ let recv_blocking t ?timeout () =
 let tx_acked t = t.tx_acked
 let rx_received t = t.rx_received
 let backend_dead t = t.dead
+let generation t = t.generation
+
+(* See {!Blkfront.probe}: spurious notify to a live backend,
+   [Dead_domain] from a dead one. *)
+let probe t =
+  if not t.dead then begin
+    try Hcall.evtchn_send t.my_port with Hcall.Hcall_error _ -> t.dead <- true
+  end;
+  t.dead
+
+let reconnect t ?timeout ?(rx_buffers = 32) () =
+  let key = t.chan.Net_channel.key in
+  let rec drain : 'a. (unit -> 'a option) -> unit =
+   fun pop -> match pop () with Some _ -> drain pop | None -> ()
+  in
+  drain (fun () -> Ring.pop_request t.chan.Net_channel.tx_ring);
+  drain (fun () -> Ring.pop_response t.chan.Net_channel.tx_ring);
+  drain (fun () -> Ring.pop_request t.chan.Net_channel.rx_ring);
+  drain (fun () -> Ring.pop_response t.chan.Net_channel.rx_ring);
+  Hashtbl.iter
+    (fun gref frame ->
+      (try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ());
+      Queue.add frame t.tx_free)
+    t.tx_inflight;
+  Hashtbl.reset t.tx_inflight;
+  (* Receive buffers were offered to the corpse (flipped pages may even
+     belong to it); revoke what we can and start from fresh frames. *)
+  Hashtbl.iter
+    (fun gref _frame ->
+      try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ())
+    t.rx_grants;
+  Hashtbl.reset t.rx_grants;
+  let newer v =
+    match int_of_string_opt v with
+    | Some g -> g > t.generation
+    | None -> false
+  in
+  match Hcall.xs_wait_pred ?timeout (key ^ "/gen") newer with
+  | None -> false
+  | Some gen_s -> (
+      let g = int_of_string gen_s in
+      let sub path = Printf.sprintf "%s/g%d/%s" key g path in
+      match Hcall.xs_read (sub "backend-dom") with
+      | None -> false
+      | Some back_s -> (
+          let backend = int_of_string back_s in
+          match Hcall.evtchn_alloc_unbound backend with
+          | offer -> (
+              let my_dom = Hcall.dom_id () in
+              t.chan.Net_channel.front_dom <- Some my_dom;
+              t.chan.Net_channel.offer_port <- Some offer;
+              t.chan.Net_channel.front_port <- Some offer;
+              Hcall.xs_write ~path:(sub "frontend-dom")
+                ~value:(string_of_int my_dom);
+              Hcall.xs_write ~path:(sub "frontend-port")
+                ~value:(string_of_int offer);
+              match Hcall.xs_wait_for ?timeout (sub "backend-port") with
+              | None -> false
+              | Some _ ->
+                  t.backend <- backend;
+                  t.my_port <- offer;
+                  t.generation <- g;
+                  t.dead <- false;
+                  List.iter (post_rx_buffer t) (Hcall.alloc_frames rx_buffers);
+                  notify t;
+                  not t.dead)
+          | exception Hcall.Hcall_error _ -> false))

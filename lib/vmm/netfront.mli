@@ -49,3 +49,17 @@ val tx_acked : t -> int
 val rx_received : t -> int
 val backend_dead : t -> bool
 (** A send or notification failed with [Dead_domain]. *)
+
+val generation : t -> int
+(** Reconnect generation: 0 originally, the backend's [key/gen] after
+    each successful {!reconnect}. *)
+
+val probe : t -> bool
+(** Liveness check via a spurious notification; returns the new
+    {!backend_dead}. *)
+
+val reconnect : t -> ?timeout:int64 -> ?rx_buffers:int -> unit -> bool
+(** Recover against a restarted backend domain: drop state shared with
+    the corpse, wait for [key/gen] above our own, redo the handshake
+    under [key/g<n>/] and re-post [rx_buffers] fresh receive buffers.
+    [false] on timeout. After [true], re-register {!port} on the mux. *)

@@ -102,6 +102,31 @@ let blk_mix ?stats ?(base = 0) ~ops ~span ~seed () () =
   in
   loop 0
 
+(* The E13 recovery probe: paced write/read-verify pairs that KEEP GOING
+   through failures, logging (virtual time, success) per pair so the
+   experiment can locate the outage window and the first post-fault
+   success. *)
+let blk_retry_stream ?stats ?(base = 0) ~now ~log ~ops ~span ~seed ~pace () () =
+  let st = match stats with Some s -> s | None -> default () in
+  let state = ref (seed land 0x3fffffff) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state
+  in
+  for i = 0 to ops - 1 do
+    let sector = base + (next () mod span) in
+    let tag = 1 + next () in
+    let ok =
+      attempt st (fun () ->
+          Sys_g.blk_write ~sector ~len:Sys_g.block_size ~tag;
+          let got = Sys_g.blk_read ~sector ~len:Sys_g.block_size in
+          if got <> tag then raise (Sys_g.Sys_error "data corruption");
+          2 * Sys_g.block_size)
+    in
+    log (now (), ok);
+    if pace > 0 && i < ops - 1 then Sys_g.burn pace
+  done
+
 let fs_churn ?stats ~files ~blocks_per_file () () =
   let st = match stats with Some s -> s | None -> default () in
   let live = ref true in

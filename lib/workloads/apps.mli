@@ -45,6 +45,25 @@ val blk_mix :
     that was not the last write to that sector counts as an error, and the
     workload stops at the first failed operation (a dead storage path). *)
 
+val blk_retry_stream :
+  ?stats:stats ->
+  ?base:int ->
+  now:(unit -> int64) ->
+  log:(int64 * bool -> unit) ->
+  ops:int ->
+  span:int ->
+  seed:int ->
+  pace:int ->
+  unit ->
+  unit ->
+  unit
+(** The fault-recovery probe (E13): [ops] write/read-verify pairs over
+    [\[base, base+span)], deterministic in [seed], with [pace] cycles of
+    user work between pairs. Unlike {!blk_mix} it does NOT stop on
+    failure — each pair's outcome is passed to [log] as
+    [(now (), success)], so the experiment can measure the outage window
+    and the recovery point. *)
+
 val fs_churn :
   ?stats:stats -> files:int -> blocks_per_file:int -> unit -> unit -> unit
 (** Create files, append blocks, read them back and verify. *)

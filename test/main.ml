@@ -10,6 +10,7 @@ let () =
       ("vmm", Test_vmm.suite);
       ("guest", Test_guest.suite);
       ("workloads", Test_workloads.suite);
+      ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("arch-matrix", Test_arch_matrix.suite);
