@@ -124,6 +124,42 @@ let icache_thrash () =
       Vmk_vmm.Costs.icache_regions
   done
 
+let smp_xcore_pingpong rounds () =
+  let mach = Machine.create ~cpus:2 ~seed:1L () in
+  let smp = Vmk_smp.Smp.create mach in
+  let server =
+    Vmk_smp.Smp.spawn smp ~name:"server" ~cpu:1 (fun () ->
+        for _ = 1 to rounds do
+          let dst = Vmk_smp.Smp.recv () in
+          Vmk_smp.Smp.send ~dst ~tag:dst ~cycles:100
+        done)
+  in
+  let client_tid = ref 0 in
+  let client =
+    Vmk_smp.Smp.spawn smp ~name:"client" ~cpu:0 (fun () ->
+        for _ = 1 to rounds do
+          Vmk_smp.Smp.send ~dst:server ~tag:!client_tid ~cycles:100;
+          ignore (Vmk_smp.Smp.recv ())
+        done)
+  in
+  client_tid := client;
+  ignore (Vmk_smp.Smp.run smp)
+
+let smp_shootdown_storm broadcasts () =
+  let mach = Machine.create ~cpus:8 ~seed:1L () in
+  let smp = Vmk_smp.Smp.create mach in
+  ignore
+    (Vmk_smp.Smp.spawn smp ~name:"mapper" ~cpu:0 (fun () ->
+         for _ = 1 to broadcasts do
+           Vmk_smp.Smp.shootdown ~pages:16
+         done));
+  for cpu = 1 to 7 do
+    ignore
+      (Vmk_smp.Smp.spawn smp ~name:(Printf.sprintf "w%d" cpu) ~cpu (fun () ->
+           Vmk_smp.Smp.burn 50_000))
+  done;
+  ignore (Vmk_smp.Smp.run smp)
+
 let macro_compile () =
   ignore
     (Scenario.run_l4
@@ -217,6 +253,10 @@ let tests =
       Test.make ~name:"e13_vmm_kill_recover"
         (Staged.stage (fun () ->
              ignore (Vmk_core.Exp_e13.run_one ~stack:`Vmm ~rate:15 ~quick:true)));
+      Test.make ~name:"e14_xcore_ipc_roundtrip_x50"
+        (Staged.stage (smp_xcore_pingpong 50));
+      Test.make ~name:"e14_shootdown_broadcast_x50"
+        (Staged.stage (smp_shootdown_storm 50));
       Test.make ~name:"a5_contended_io_boosted"
         (Staged.stage (fun () ->
              ignore

@@ -1,0 +1,30 @@
+(** E14 — SMP scalability: multi-server vs. centralized Dom0.
+
+    Sweeps core count over the E3-style I/O storm on four SMP
+    configurations: microkernel with colocated per-core net servers,
+    microkernel with pinned server cores, VMM with a single Dom0 backend
+    and VMM with a driver domain per core. Measures throughput scaling
+    and itemizes the cross-CPU overheads (IPIs, TLB shootdowns, spinlock
+    spin) from the per-CPU accounts, then checks the paper-shaped
+    verdicts: the single Dom0 plateaus, the multi-server and
+    disaggregated layouts scale, and same-seed reruns are bit-for-bit
+    identical. *)
+
+type kind = Uk_colocated | Uk_pinned | Vmm_dom0 | Vmm_drivers
+
+type run = {
+  completed : int;
+  wall : int64;
+  mach : Vmk_hw.Machine.t;
+  contended : int;
+  spin : int64;
+}
+
+val run_case : kind:kind -> cores:int -> packets:int -> run
+(** One configuration at one core count, fixed seed — exposed for the
+    tests and benches. *)
+
+val throughput : run -> float
+(** Packets per million cycles of virtual wall time. *)
+
+val experiment : Experiment.t

@@ -32,6 +32,8 @@ type profile = {
   irq_entry_cost : int;
   irq_eoi_cost : int;
   world_switch_cost : int;
+  ipi_cost : int;
+  shootdown_ack_cost : int;
 }
 
 let x86_32 =
@@ -58,6 +60,8 @@ let x86_32 =
     irq_entry_cost = 610;
     irq_eoi_cost = 90;
     world_switch_cost = 480;
+    ipi_cost = 780; (* APIC vector delivery + P4 interrupt entry *)
+    shootdown_ack_cost = 500;
   }
 
 let x86_64 =
@@ -78,6 +82,8 @@ let x86_64 =
     has_segmentation = false; (* flat segments; limits ignored *)
     irq_entry_cost = 480;
     world_switch_cost = 420;
+    ipi_cost = 640;
+    shootdown_ack_cost = 420;
   }
 
 let arm32 =
@@ -104,6 +110,8 @@ let arm32 =
     irq_entry_cost = 160;
     irq_eoi_cost = 40;
     world_switch_cost = 380;
+    ipi_cost = 260;
+    shootdown_ack_cost = 180;
   }
 
 let arm64 =
@@ -123,6 +131,8 @@ let arm64 =
     copy_per_byte_c100 = 70;
     irq_entry_cost = 130;
     world_switch_cost = 260;
+    ipi_cost = 210;
+    shootdown_ack_cost = 150;
   }
 
 let mips64 =
@@ -149,6 +159,8 @@ let mips64 =
     irq_entry_cost = 110;
     irq_eoi_cost = 30;
     world_switch_cost = 240;
+    ipi_cost = 220;
+    shootdown_ack_cost = 160;
   }
 
 let ppc32 =
@@ -175,6 +187,8 @@ let ppc32 =
     irq_entry_cost = 190;
     irq_eoi_cost = 45;
     world_switch_cost = 320;
+    ipi_cost = 300;
+    shootdown_ack_cost = 200;
   }
 
 let ppc64 =
@@ -192,6 +206,8 @@ let ppc64 =
     icache_lines = 512;
     copy_per_byte_c100 = 60;
     world_switch_cost = 300;
+    ipi_cost = 280;
+    shootdown_ack_cost = 190;
   }
 
 let itanium =
@@ -218,6 +234,8 @@ let itanium =
     irq_entry_cost = 260;
     irq_eoi_cost = 55;
     world_switch_cost = 520;
+    ipi_cost = 420;
+    shootdown_ack_cost = 260;
   }
 
 let sparc64 =
@@ -244,6 +262,8 @@ let sparc64 =
     irq_entry_cost = 170;
     irq_eoi_cost = 40;
     world_switch_cost = 340;
+    ipi_cost = 310;
+    shootdown_ack_cost = 210;
   }
 
 let all =

@@ -56,6 +56,13 @@ type profile = {
   irq_eoi_cost : int;
   world_switch_cost : int;
       (** Extra state save/restore when a VMM switches between domains. *)
+  ipi_cost : int;
+      (** Delivering one inter-processor interrupt on the target core
+          (vector delivery + interrupt entry); also the cross-core
+          notification latency in the SMP model. *)
+  shootdown_ack_cost : int;
+      (** Remote-core TLB-shootdown handler: acknowledge the IPI and
+          invalidate the requested entries. *)
 }
 
 val profile : id -> profile

@@ -1,0 +1,14 @@
+type t = {
+  id : int;
+  tlb : Tlb.t;
+  icache : Cache.t;
+  mutable now : int64;
+}
+
+let create ~id profile =
+  if id < 0 then invalid_arg "Cpu.create: negative id";
+  { id; tlb = Tlb.of_profile profile; icache = Cache.of_profile profile; now = 0L }
+
+let advance t cycles =
+  if cycles < 0 then invalid_arg "Cpu.advance: negative cycles";
+  t.now <- Int64.add t.now (Int64.of_int cycles)

@@ -1,0 +1,27 @@
+(** One virtual CPU of an SMP machine.
+
+    Each vCPU owns the per-core microarchitectural state — its TLB and
+    i-cache — plus a local clock tracking the core's position in the
+    machine's global virtual time. The frame table, devices and event
+    engine stay shared at the {!Machine} level; the SMP executor in
+    [lib/smp] interleaves cores against the one engine clock. *)
+
+type t = {
+  id : int;  (** Core number, dense from 0. *)
+  tlb : Tlb.t;
+  icache : Cache.t;
+  mutable now : int64;
+      (** This core's position in global virtual time. Cores within one
+          scheduling round may briefly disagree; the executor re-syncs
+          them every quantum. *)
+}
+
+val create : id:int -> Arch.profile -> t
+(** Fresh core with cold TLB/i-cache and clock at 0.
+
+    @raise Invalid_argument on a negative id. *)
+
+val advance : t -> int -> unit
+(** Move this core's local clock forward by [cycles].
+
+    @raise Invalid_argument on a negative count. *)

@@ -7,6 +7,7 @@ type t = {
   disk : Disk.t;
   tlb : Tlb.t;
   icache : Cache.t;
+  cpus : Cpu.t array;
   counters : Vmk_trace.Counter.set;
   accounts : Vmk_trace.Accounts.t;
   rng : Vmk_sim.Rng.t;
@@ -17,9 +18,10 @@ let timer_irq = 0
 let nic_irq = 1
 let disk_irq = 2
 
-let create ?(arch = Arch.default) ?(frames = 4096) ?seed () =
+let create ?(arch = Arch.default) ?(frames = 4096) ?(cpus = 1) ?seed () =
   let engine = Vmk_sim.Engine.create () in
   let irq = Irq.create ~lines:8 in
+  let cpus = Array.init (max 1 cpus) (fun id -> Cpu.create ~id arch) in
   {
     arch;
     engine;
@@ -27,13 +29,20 @@ let create ?(arch = Arch.default) ?(frames = 4096) ?seed () =
     irq;
     nic = Nic.create engine irq ~irq_line:nic_irq ();
     disk = Disk.create engine irq ~irq_line:disk_irq ();
-    tlb = Tlb.of_profile arch;
-    icache = Cache.of_profile arch;
+    tlb = cpus.(0).Cpu.tlb;
+    icache = cpus.(0).Cpu.icache;
+    cpus;
     counters = Vmk_trace.Counter.create_set ();
     accounts = Vmk_trace.Accounts.create ();
     rng = Vmk_sim.Rng.create ?seed ();
     timer_on = ref false;
   }
+
+let ncpus t = Array.length t.cpus
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then invalid_arg "Machine.cpu: bad index";
+  t.cpus.(i)
 
 let now t = Vmk_sim.Engine.now t.engine
 
@@ -42,6 +51,12 @@ let burn t cycles =
   let c = Int64.of_int cycles in
   Vmk_trace.Accounts.charge_current t.accounts c;
   Vmk_sim.Engine.burn t.engine c
+
+let burn_on t ~cpu cycles =
+  if cycles < 0 then invalid_arg "Machine.burn_on: negative cycles";
+  let c = Int64.of_int cycles in
+  Vmk_trace.Accounts.charge_current_on t.accounts ~cpu:cpu.Cpu.id c;
+  Cpu.advance cpu cycles
 
 let burn_copy t ~bytes = burn t (Arch.copy_cost t.arch ~bytes)
 

@@ -13,8 +13,11 @@ type t = {
   irq : Irq.t;
   nic : Nic.t;
   disk : Disk.t;
-  tlb : Tlb.t;
-  icache : Cache.t;
+  tlb : Tlb.t;  (** Alias of core 0's TLB, for single-CPU callers. *)
+  icache : Cache.t;  (** Alias of core 0's i-cache. *)
+  cpus : Cpu.t array;
+      (** The vCPU bank; [cpus.(0)] owns {!field-tlb}/{!field-icache}.
+          Single-CPU machines (the default) have exactly one entry. *)
   counters : Vmk_trace.Counter.set;
   accounts : Vmk_trace.Accounts.t;
   rng : Vmk_sim.Rng.t;
@@ -31,15 +34,29 @@ val disk_irq : int
 (** Line 2. *)
 
 val create :
-  ?arch:Arch.profile -> ?frames:int -> ?seed:int64 -> unit -> t
-(** A machine with the given profile (default {!Arch.default}) and
-    [frames] physical frames (default 4096 = 16 MiB). *)
+  ?arch:Arch.profile -> ?frames:int -> ?cpus:int -> ?seed:int64 -> unit -> t
+(** A machine with the given profile (default {!Arch.default}),
+    [frames] physical frames (default 4096 = 16 MiB) and [cpus] vCPUs
+    (default 1; values below 1 are clamped to 1). *)
+
+val ncpus : t -> int
+
+val cpu : t -> int -> Cpu.t
+(** @raise Invalid_argument when the index is out of range. *)
 
 val now : t -> int64
 
 val burn : t -> int -> unit
 (** Spend [cycles]: charged to the current {!Vmk_trace.Accounts} account
     and advanced on the engine (due device events fire).
+
+    @raise Invalid_argument on a negative count. *)
+
+val burn_on : t -> cpu:Cpu.t -> int -> unit
+(** SMP variant of {!burn}: charge the current account's per-CPU bucket
+    for [cpu] and advance that core's local clock only. The engine clock
+    is *not* advanced — the SMP executor owns global time and steps it
+    once per scheduling round.
 
     @raise Invalid_argument on a negative count. *)
 

@@ -22,6 +22,7 @@ let every t period f =
   at t first (tick first)
 
 let pending t = Heap.length t.queue
+let next_due t = Heap.min_time t.queue
 
 let dispatch_due t =
   let rec loop () =

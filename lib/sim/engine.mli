@@ -30,6 +30,10 @@ val every : t -> int64 -> (unit -> bool) -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val next_due : t -> int64 option
+(** Due time of the earliest queued event, without dispatching it. Lets
+    the SMP executor skip idle quanta straight to the next arrival. *)
+
 val burn : t -> int64 -> unit
 (** [burn t cycles] advances the clock by [cycles] and dispatches any events
     that became due. This is the simulator's only way of "spending time". *)

@@ -1,25 +1,42 @@
+type cell = { mutable total : int64; mutable by_cpu : int64 array }
+
 type t = {
-  balances : (string, int64 ref) Hashtbl.t;
+  balances : (string, cell) Hashtbl.t;
   mutable current : string;
+  mutable max_cpu : int;  (* highest cpu index ever charged *)
 }
 
 let idle = "idle"
-let create () = { balances = Hashtbl.create 16; current = idle }
+let create () = { balances = Hashtbl.create 16; current = idle; max_cpu = 0 }
 
 let cell t name =
   match Hashtbl.find_opt t.balances name with
-  | Some r -> r
+  | Some c -> c
   | None ->
-      let r = ref 0L in
-      Hashtbl.add t.balances name r;
-      r
+      let c = { total = 0L; by_cpu = Array.make 1 0L } in
+      Hashtbl.add t.balances name c;
+      c
 
-let charge t name cycles =
+let ensure_cpu c cpu =
+  let n = Array.length c.by_cpu in
+  if cpu >= n then begin
+    let by_cpu = Array.make (cpu + 1) 0L in
+    Array.blit c.by_cpu 0 by_cpu 0 n;
+    c.by_cpu <- by_cpu
+  end
+
+let charge_on t ~cpu name cycles =
   if Int64.compare cycles 0L < 0 then invalid_arg "Accounts.charge: negative";
-  let r = cell t name in
-  r := Int64.add !r cycles
+  if cpu < 0 then invalid_arg "Accounts.charge: negative cpu";
+  let c = cell t name in
+  ensure_cpu c cpu;
+  c.total <- Int64.add c.total cycles;
+  c.by_cpu.(cpu) <- Int64.add c.by_cpu.(cpu) cycles;
+  if cpu > t.max_cpu then t.max_cpu <- cpu
 
+let charge t name cycles = charge_on t ~cpu:0 name cycles
 let charge_current t cycles = charge t t.current cycles
+let charge_current_on t ~cpu cycles = charge_on t ~cpu t.current cycles
 let switch_to t name = t.current <- name
 let current t = t.current
 
@@ -29,13 +46,20 @@ let with_account t name f =
   Fun.protect ~finally:(fun () -> t.current <- previous) f
 
 let balance t name =
-  match Hashtbl.find_opt t.balances name with Some r -> !r | None -> 0L
+  match Hashtbl.find_opt t.balances name with Some c -> c.total | None -> 0L
 
-let total t = Hashtbl.fold (fun _ r acc -> Int64.add acc !r) t.balances 0L
+let cpu_balance t ~cpu name =
+  match Hashtbl.find_opt t.balances name with
+  | Some c when cpu >= 0 && cpu < Array.length c.by_cpu -> c.by_cpu.(cpu)
+  | Some _ | None -> 0L
+
+let cpus_seen t = t.max_cpu + 1
+
+let total t = Hashtbl.fold (fun _ c acc -> Int64.add acc c.total) t.balances 0L
 
 let busy_total t =
   Hashtbl.fold
-    (fun name r acc -> if name = idle then acc else Int64.add acc !r)
+    (fun name c acc -> if name = idle then acc else Int64.add acc c.total)
     t.balances 0L
 
 let share t name =
@@ -44,12 +68,28 @@ let share t name =
   else Int64.to_float (balance t name) /. Int64.to_float busy
 
 let reset t =
-  Hashtbl.iter (fun _ r -> r := 0L) t.balances;
-  t.current <- idle
+  Hashtbl.iter
+    (fun _ c ->
+      c.total <- 0L;
+      Array.fill c.by_cpu 0 (Array.length c.by_cpu) 0L)
+    t.balances;
+  t.current <- idle;
+  t.max_cpu <- 0
 
 let to_list t =
   Hashtbl.fold
-    (fun name r acc -> if Int64.compare !r 0L <> 0 then (name, !r) :: acc else acc)
+    (fun name c acc ->
+      if Int64.compare c.total 0L <> 0 then (name, c.total) :: acc else acc)
+    t.balances []
+  |> List.sort compare
+
+let to_cpu_list t ~cpu =
+  Hashtbl.fold
+    (fun name c acc ->
+      let v =
+        if cpu >= 0 && cpu < Array.length c.by_cpu then c.by_cpu.(cpu) else 0L
+      in
+      if Int64.compare v 0L <> 0 then (name, v) :: acc else acc)
     t.balances []
   |> List.sort compare
 
@@ -57,3 +97,14 @@ let pp ppf t =
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-12s %12Ld cycles (%.1f%%)@." name v (100.0 *. share t name))
     (to_list t)
+
+let pp_per_cpu ppf t =
+  for cpu = 0 to t.max_cpu do
+    match to_cpu_list t ~cpu with
+    | [] -> ()
+    | rows ->
+        Format.fprintf ppf "cpu%d:@." cpu;
+        List.iter
+          (fun (name, v) -> Format.fprintf ppf "  %-14s %12Ld cycles@." name v)
+          rows
+  done

@@ -3,7 +3,11 @@
     The central instrument behind experiments E3 and E8: every cycle burnt
     in the simulator is charged to exactly one account ("dom0", "guest1",
     "vmm", "ukernel", "idle", …), so CPU shares fall out as ratios of
-    account balances. *)
+    account balances.
+
+    Every charge also lands in a per-CPU bucket (cpu 0 unless the [_on]
+    variants say otherwise), so SMP experiments can itemize where each
+    account's cycles were spent core by core. *)
 
 type t
 (** A set of named cycle accounts with a current-account pointer. *)
@@ -12,12 +16,21 @@ val create : unit -> t
 (** Fresh account set; the current account starts as ["idle"]. *)
 
 val charge : t -> string -> int64 -> unit
-(** [charge t name cycles] adds [cycles] to [name]'s balance.
+(** [charge t name cycles] adds [cycles] to [name]'s balance, in the
+    cpu-0 bucket.
 
     @raise Invalid_argument on a negative charge. *)
 
+val charge_on : t -> cpu:int -> string -> int64 -> unit
+(** Like {!charge} but lands in the given core's bucket.
+
+    @raise Invalid_argument on a negative charge or cpu index. *)
+
 val charge_current : t -> int64 -> unit
-(** Charge the account selected by {!switch_to}. *)
+(** Charge the account selected by {!switch_to}, on cpu 0. *)
+
+val charge_current_on : t -> cpu:int -> int64 -> unit
+(** Charge the current account on the given core. *)
 
 val switch_to : t -> string -> unit
 (** Select the account that subsequent {!charge_current} calls hit. *)
@@ -30,7 +43,15 @@ val with_account : t -> string -> (unit -> 'a) -> 'a
     Restores the previous account even on exceptions. *)
 
 val balance : t -> string -> int64
-(** Cycles charged to [name] so far; [0L] if never charged. *)
+(** Cycles charged to [name] so far, over all cores; [0L] if never
+    charged. *)
+
+val cpu_balance : t -> cpu:int -> string -> int64
+(** [name]'s cycles in one core's bucket; [0L] for unknown accounts or
+    cores never charged. *)
+
+val cpus_seen : t -> int
+(** 1 + the highest core index any charge has hit (so ≥ 1). *)
 
 val total : t -> int64
 (** Sum over all accounts. *)
@@ -46,4 +67,10 @@ val reset : t -> unit
 val to_list : t -> (string * int64) list
 (** Non-zero balances, sorted by name. *)
 
+val to_cpu_list : t -> cpu:int -> (string * int64) list
+(** Non-zero balances in one core's bucket, sorted by name. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_per_cpu : Format.formatter -> t -> unit
+(** Per-core breakdown: one block per core with non-zero charges. *)

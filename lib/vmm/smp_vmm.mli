@@ -1,0 +1,46 @@
+(** Xen-style VMM stack on an SMP machine.
+
+    The E3 I/O-storm pipeline (NIC interrupt -> backend -> frontend
+    upcall) rebuilt on {!Vmk_smp.Smp} with credit-style per-core vCPU
+    scheduling, priced with the same {!Costs} constants as the
+    single-CPU hypervisor. Two backend layouts probe [CG05]'s
+    centralized-Dom0 bottleneck:
+    {ul
+    {- [Single_dom0]: every packet's grant check and page flip runs in
+       one domain pinned to core 0 — adding guest cores cannot add
+       backend capacity, so throughput plateaus at Dom0 saturation.}
+    {- [Driver_domains]: a driver domain per core with private grant
+       tables; only the frame-ownership check stays under the shared
+       lock, so backends scale with cores (contention itemized in
+       ["smp.spin"]).}} *)
+
+type backend = Single_dom0 | Driver_domains
+
+type config = {
+  cores : int;
+  backend : backend;
+  guests : int;
+  packets : int;  (** Total packets injected, split across guests. *)
+  packet_len : int;
+  period : int64;  (** Arrival period — E14 keeps it saturating. *)
+  app_cycles : int;  (** Per-packet application work in the guest. *)
+}
+
+type result = {
+  completed : int;  (** Packets fully consumed by finished guests. *)
+  wall : int64;  (** Virtual time when the stack went idle. *)
+  mach : Vmk_hw.Machine.t;  (** For counters and per-CPU accounts. *)
+  gnt_acquisitions : int;
+  gnt_contended : int;
+  gnt_spin : int64;
+}
+
+val default : ?backend:backend -> cores:int -> unit -> config
+(** The E14 workload: 8 guests, 640 packets of 512 bytes arriving every
+    400 cycles, 2600 cycles of app work each. *)
+
+val run : ?seed:int64 -> config -> result
+(** Build a fresh machine with [cfg.cores] vCPUs, run the pipeline to
+    completion. Deterministic per seed.
+
+    @raise Invalid_argument when [cores] or [guests] < 1. *)

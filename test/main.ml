@@ -11,6 +11,7 @@ let () =
       ("guest", Test_guest.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
+      ("smp", Test_smp.suite);
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("arch-matrix", Test_arch_matrix.suite);
