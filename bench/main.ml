@@ -168,6 +168,37 @@ let macro_compile () =
            ~net_every:10 ~blk_every:15 () ())
        ())
 
+(* E15 overload building blocks: admission decisions, the backoff
+   schedule (jitter draws included) and pushing into a ring that stays
+   saturated (every push an explicit policy rejection). *)
+let token_bucket_admit decisions () =
+  let b =
+    Vmk_overload.Overload.Token_bucket.create ~period:100L ~burst:8 ()
+  in
+  let now = ref 0L in
+  for _ = 1 to decisions do
+    now := Int64.add !now 37L;
+    ignore (Vmk_overload.Overload.Token_bucket.admit b ~now:!now)
+  done
+
+let backoff_schedule draws () =
+  let mach = Machine.create ~seed:1L () in
+  let b =
+    Vmk_overload.Overload.Backoff.create ~attempts:(draws + 1)
+      (Vmk_sim.Rng.split mach.Machine.rng)
+  in
+  for n = 0 to draws - 1 do
+    ignore (Vmk_overload.Overload.Backoff.delay b ~attempt:n)
+  done
+
+let saturated_ring_push pushes () =
+  let ring = Vmk_vmm.Ring.create ~capacity:8 () in
+  let dropped = ref 0 in
+  Vmk_vmm.Ring.on_drop ring (fun () -> incr dropped);
+  for i = 1 to pushes do
+    ignore (Vmk_vmm.Ring.push_request ring i)
+  done
+
 (* --- test registry: one per table/figure --- *)
 
 let tests =
@@ -257,6 +288,12 @@ let tests =
         (Staged.stage (smp_xcore_pingpong 50));
       Test.make ~name:"e14_shootdown_broadcast_x50"
         (Staged.stage (smp_shootdown_storm 50));
+      Test.make ~name:"e15_token_bucket_admit_x200"
+        (Staged.stage (token_bucket_admit 200));
+      Test.make ~name:"e15_backoff_schedule_x50"
+        (Staged.stage (backoff_schedule 50));
+      Test.make ~name:"e15_saturated_ring_push_x200"
+        (Staged.stage (saturated_ring_push 200));
       Test.make ~name:"a5_contended_io_boosted"
         (Staged.stage (fun () ->
              ignore

@@ -153,8 +153,7 @@ let l4_run ~quick ~rate =
   ignore (Kernel.run k ~until:(fun () -> !finished));
   Watchdog.stop wd;
   ignore (Kernel.run k);
-  Faults.disarm mach;
-  ignore armed;
+  Faults.disarm armed mach;
   metrics_of ~stack:"L4" ~rate ~counters:mach.Machine.counters
     ~retries_key:"l4.retries" ~gaveup_key:"l4.gaveup"
     ~recoveries:(List.length (Watchdog.respawns wd))
@@ -205,8 +204,7 @@ let vmm_run ~quick ~rate =
   ignore (Hypervisor.run h ~until:(fun () -> !finished));
   Hypervisor.stop_supervisor sup;
   ignore (Hypervisor.run h);
-  Faults.disarm mach;
-  ignore armed;
+  Faults.disarm armed mach;
   metrics_of ~stack:"VMM" ~rate ~counters:mach.Machine.counters
     ~retries_key:"xen.retries" ~gaveup_key:"xen.gaveup"
     ~recoveries:(List.length (Hypervisor.restarts sup))

@@ -1,0 +1,5 @@
+(** E15: end-to-end overload robustness — offered-load sweep on both
+    structures, naive vs. policied, measuring timely goodput, tail
+    latency and the itemized drop/shed/retry budget. *)
+
+val experiment : Experiment.t

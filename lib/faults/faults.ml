@@ -21,17 +21,28 @@ type nic_window = {
   n_pct : int;
 }
 
+type pressure =
+  | Grant_cap of int option
+  | Ring_cap of int option
+  | Steal_frames of int
+
 type event =
   | Disk_faults of disk_window list
   | Nic_faults of nic_window list
   | Irq_storm of { line : int; at : int64; count : int; gap : int64 }
   | Kill_at of { at : int64; target : string }
+  | Grant_squeeze of { g_start : int64; g_stop : int64; g_cap : int }
+  | Ring_squeeze of { r_start : int64; r_stop : int64; r_cap : int }
+  | Memory_pressure of { m_at : int64; m_frames : int; m_victim : string }
 
 type plan = event list
 
 type armed = {
   plan : plan;
   mutable kills_fired : (string * int64) list;  (** Newest first. *)
+  mutable handles : Engine.handle list;
+      (** Every scheduled storm tick / kill / squeeze edge, so
+          {!disarm} can cancel the ones that have not fired yet. *)
 }
 
 let kill_times t target =
@@ -46,9 +57,12 @@ let first_kill_time t target =
 (* Each fault window gets its own stream split off the machine RNG at arm
    time, in plan order — the draw sequence is a pure function of
    (machine seed, plan). *)
-let arm plan mach ~kill =
+let arm ?(pressure = fun (_ : pressure) -> ()) plan mach ~kill =
   let engine = mach.Machine.engine in
-  let armed = { plan; kills_fired = [] } in
+  let armed = { plan; kills_fired = []; handles = [] } in
+  let schedule at f =
+    armed.handles <- Engine.at_cancellable engine at f :: armed.handles
+  in
   let disk_faults = ref [] and nic_faults = ref [] in
   List.iter
     (fun event ->
@@ -82,23 +96,42 @@ let arm plan mach ~kill =
             windows
       | Irq_storm { line; at; count; gap } ->
           for i = 0 to count - 1 do
-            Engine.at engine
+            schedule
               (Int64.add at (Int64.mul (Int64.of_int i) gap))
               (fun () ->
                 Counter.incr mach.Machine.counters "faults.irq_storm";
                 Irq.raise_line mach.Machine.irq line)
           done
       | Kill_at { at; target } ->
-          Engine.at engine at (fun () ->
+          schedule at (fun () ->
               Counter.incr mach.Machine.counters "faults.kill";
               armed.kills_fired <-
                 (target, Engine.now engine) :: armed.kills_fired;
-              kill target))
+              kill target)
+      | Grant_squeeze { g_start; g_stop; g_cap } ->
+          schedule g_start (fun () ->
+              Counter.incr mach.Machine.counters "faults.grant_squeeze";
+              pressure (Grant_cap (Some g_cap)));
+          schedule g_stop (fun () -> pressure (Grant_cap None))
+      | Ring_squeeze { r_start; r_stop; r_cap } ->
+          schedule r_start (fun () ->
+              Counter.incr mach.Machine.counters "faults.ring_squeeze";
+              pressure (Ring_cap (Some r_cap)));
+          schedule r_stop (fun () -> pressure (Ring_cap None))
+      | Memory_pressure { m_at; m_frames; m_victim } ->
+          schedule m_at (fun () ->
+              Counter.incr mach.Machine.counters "faults.mem_pressure";
+              pressure (Steal_frames m_frames);
+              armed.kills_fired <-
+                (m_victim, Engine.now engine) :: armed.kills_fired;
+              kill m_victim))
     plan;
   Disk.set_faults mach.Machine.disk (List.rev !disk_faults);
   Nic.set_faults mach.Machine.nic (List.rev !nic_faults);
   armed
 
-let disarm mach =
+let disarm armed mach =
+  List.iter Engine.cancel armed.handles;
+  armed.handles <- [];
   Disk.set_faults mach.Machine.disk [];
   Nic.set_faults mach.Machine.nic []

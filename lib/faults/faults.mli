@@ -29,6 +29,19 @@ type nic_window = {
   n_pct : int;  (** Per-packet fault probability, percent. *)
 }
 
+(** Resource-exhaustion notifications delivered through the arm-time
+    [pressure] callback. Like [kill], the mapping to a concrete
+    mechanism is the caller's ({!Vmk_vmm.Hypervisor.set_grant_cap},
+    {!Vmk_vmm.Ring.set_limit}, frame-table allocation, ...), keeping
+    this library free of kernel/VMM dependencies. *)
+type pressure =
+  | Grant_cap of int option
+      (** Clamp ([Some cap]) or restore ([None]) the grant-table size. *)
+  | Ring_cap of int option
+      (** Clamp or restore the effective I/O-ring capacity. *)
+  | Steal_frames of int
+      (** Memory pressure: take this many frames away. *)
+
 type event =
   | Disk_faults of disk_window list
   | Nic_faults of nic_window list
@@ -36,6 +49,14 @@ type event =
       (** [count] raises of [line], [gap] cycles apart, starting at [at]. *)
   | Kill_at of { at : int64; target : string }
       (** Invoke the arm-time [kill] callback on [target] at time [at]. *)
+  | Grant_squeeze of { g_start : int64; g_stop : int64; g_cap : int }
+      (** Grant-table exhaustion window: [Grant_cap (Some g_cap)] at
+          [g_start], [Grant_cap None] at [g_stop]. *)
+  | Ring_squeeze of { r_start : int64; r_stop : int64; r_cap : int }
+      (** Ring-saturation window: clamp ring capacity to [r_cap]. *)
+  | Memory_pressure of { m_at : int64; m_frames : int; m_victim : string }
+      (** OOM at [m_at]: [Steal_frames m_frames] through [pressure],
+          then kill [m_victim] (recorded in [kills_fired]). *)
 
 type plan = event list
 
@@ -44,16 +65,25 @@ type armed = {
   mutable kills_fired : (string * int64) list;
       (** (target, virtual time) of every kill that has fired, newest
           first. *)
+  mutable handles : Vmk_sim.Engine.handle list;
+      (** Scheduled engine events still subject to {!disarm}. *)
 }
 
-val arm : plan -> Vmk_hw.Machine.t -> kill:(string -> unit) -> armed
-(** Install the plan: set the device fault windows and schedule storms
-    and kills on the machine's engine. Counters:
-    ["faults.irq_storm"], ["faults.kill"]. *)
+val arm :
+  ?pressure:(pressure -> unit) ->
+  plan ->
+  Vmk_hw.Machine.t ->
+  kill:(string -> unit) ->
+  armed
+(** Install the plan: set the device fault windows and schedule storms,
+    kills and resource squeezes on the machine's engine. Counters:
+    ["faults.irq_storm"], ["faults.kill"], ["faults.grant_squeeze"],
+    ["faults.ring_squeeze"], ["faults.mem_pressure"]. [pressure]
+    defaults to a no-op. *)
 
-val disarm : Vmk_hw.Machine.t -> unit
-(** Clear the device fault windows (scheduled kills/storms that have not
-    fired yet still fire). *)
+val disarm : armed -> Vmk_hw.Machine.t -> unit
+(** Clear the device fault windows and cancel every scheduled storm,
+    kill and squeeze that has not fired yet. *)
 
 val kill_times : armed -> string -> int64 list
 (** Fire times recorded for a target, oldest first. *)

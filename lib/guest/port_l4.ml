@@ -4,6 +4,7 @@ module Rng = Vmk_sim.Rng
 module Sysif = Vmk_ukernel.Sysif
 module Proto = Vmk_ukernel.Proto
 module Svc = Vmk_ukernel.Svc
+module Overload = Vmk_overload.Overload
 
 let gk_account = "guestk"
 
@@ -57,11 +58,17 @@ let kernel_work_of_op op =
 let error_reply = Sysif.msg Proto.error
 let ok_reply ?items () = Sysif.msg Proto.ok ?items
 
+(* Transient outcomes worth retrying: a device fault ([error]) or the
+   server shedding load ([busy], E15). *)
+let retryable label = label = Proto.error || label = Proto.busy
+
 (* One driver RPC. Without a retry policy this is the original
    fire-once call. With one, IPC failures (dead or wedged server) and
-   [Proto.error] replies (transient device faults) are retried against a
-   freshly resolved tid — picking up watchdog respawns — with
-   exponential backoff plus seeded jitter between attempts. *)
+   retryable replies (transient device faults, overload sheds) are
+   retried against a freshly resolved tid — picking up watchdog
+   respawns — on the shared {!Overload.Backoff} schedule: exponential
+   delay plus seeded jitter, itemized under [overload.retry] /
+   [overload.backoff_cycles]. *)
 let driver_call st resolve m =
   let once ?timeout server =
     match Sysif.call ?timeout server m with
@@ -72,27 +79,28 @@ let driver_call st resolve m =
   | None -> Option.bind (resolve ()) (fun server -> once server)
   | Some r ->
       let counters = r.mach.Machine.counters in
-      let rec attempt n =
-        let outcome =
-          Option.bind (resolve ()) (fun server ->
-              once ~timeout:r.timeout server)
-        in
-        match outcome with
-        | Some reply when reply.Sysif.label <> Proto.error -> Some reply
-        | last ->
-            if n + 1 >= r.attempts then begin
-              Counter.incr counters "l4.gaveup";
-              last
-            end
-            else begin
-              Counter.incr counters "l4.retries";
-              let backoff = Int64.mul r.base_delay (Int64.shift_left 1L n) in
-              let jitter = Int64.of_int (Rng.int r.rng 1_000) in
-              Sysif.sleep (Int64.add backoff jitter);
-              attempt (n + 1)
-            end
+      let backoff =
+        Overload.Backoff.create ~attempts:r.attempts ~base:r.base_delay r.rng
       in
-      attempt 0
+      let last = ref None in
+      let try_once () =
+        match
+          Option.bind (resolve ()) (fun server -> once ~timeout:r.timeout server)
+        with
+        | Some reply when not (retryable reply.Sysif.label) -> Some reply
+        | outcome ->
+            last := outcome;
+            None
+      in
+      let sleep d =
+        Counter.incr counters "l4.retries";
+        Sysif.sleep d
+      in
+      match Overload.Backoff.run backoff ~counters ~sleep try_once with
+      | Some _ as reply -> reply
+      | None ->
+          Counter.incr counters "l4.gaveup";
+          !last
 
 let gk_blk_op st ~write ~sector ~bytes ~tag =
   if write then

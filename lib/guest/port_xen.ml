@@ -1,10 +1,12 @@
 module Machine = Vmk_hw.Machine
 module Segments = Vmk_hw.Segments
 module Counter = Vmk_trace.Counter
+module Rng = Vmk_sim.Rng
 module Hcall = Vmk_vmm.Hcall
 module Netfront = Vmk_vmm.Netfront
 module Blkfront = Vmk_vmm.Blkfront
 module Evt_mux = Vmk_vmm.Evt_mux
+module Overload = Vmk_overload.Overload
 
 let io_timeout = 50_000_000L
 
@@ -27,6 +29,8 @@ type state = {
   blk : Blkfront.t option;
   resilient : resilience option;
   timeout : int64;
+  tx_backoff : Overload.Backoff.t;
+      (** Schedule for waiting out transmit-ring back-pressure. *)
   mutable fs : Minifs.t option;
 }
 
@@ -102,20 +106,30 @@ let with_retry st ~recover once =
 
 let do_net_send st ~len ~tag =
   let front = net_exn st in
-  (* Retry while transmit resources are exhausted (ring back-pressure). *)
+  (* Back off while transmit resources are exhausted (ring
+     back-pressure), on the shared seeded schedule — retries and cycles
+     spent waiting are itemized under [overload.retry] /
+     [overload.backoff_cycles]. *)
   let once () =
-    let rec attempt tries =
-      if Netfront.send front ~len ~tag then Sys.G_unit
-      else if Netfront.backend_dead front then Sys.G_error "network backend dead"
-      else if tries = 0 then Sys.G_error "transmit ring saturated"
-      else begin
-        (match Hcall.block ~timeout:100_000L () with
-        | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
-        | Hcall.Timed_out -> ());
-        attempt (tries - 1)
-      end
+    let exception Dead in
+    let sleep d =
+      match Hcall.block ~timeout:d () with
+      | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
+      | Hcall.Timed_out -> ()
+      | exception Hcall.Hcall_error _ -> ()
     in
-    attempt 32
+    let try_once () =
+      if Netfront.send front ~len ~tag then Some Sys.G_unit
+      else if Netfront.backend_dead front then raise Dead
+      else None
+    in
+    match
+      Overload.Backoff.run st.tx_backoff ~counters:st.mach.Machine.counters
+        ~sleep try_once
+    with
+    | Some result -> result
+    | None -> Sys.G_error "transmit ring saturated"
+    | exception Dead -> Sys.G_error "network backend dead"
   in
   with_retry st ~recover:(fun st r -> recover_net st r front) once
 
@@ -246,6 +260,12 @@ let guest_body mach ?net ?blk ?(fast_syscall = true) ?(glibc_tls = false)
       blk = blk_front;
       resilient = (if resilient then Some default_resilience else None);
       timeout = io_timeout;
+      (* 32 short doubling waits, capped well under [io_timeout]; the
+         jitter stream splits off the machine RNG here, at a fixed
+         point, so runs replay bit-for-bit. *)
+      tx_backoff =
+        Overload.Backoff.create ~attempts:32 ~base:50_000L ~cap:400_000L
+          (Rng.split mach.Machine.rng);
       fs = None;
     }
   in

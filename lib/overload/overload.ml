@@ -1,0 +1,189 @@
+module Rng = Vmk_sim.Rng
+module Counter = Vmk_trace.Counter
+
+let drop_counter = "overload.drop"
+let shed_counter = "overload.shed"
+let retry_counter = "overload.retry"
+let backoff_counter = "overload.backoff_cycles"
+let queue_peak_prefix = "overload.queue_peak."
+
+module Token_bucket = struct
+  type t = {
+    period : int64;
+    burst : int;
+    mutable tokens : int;
+    mutable last_refill : int64;
+    mutable admitted : int;
+    mutable denied : int;
+  }
+
+  let create ~period ~burst () =
+    if Int64.compare period 1L < 0 then
+      invalid_arg "Token_bucket.create: period < 1";
+    if burst < 1 then invalid_arg "Token_bucket.create: burst < 1";
+    { period; burst; tokens = burst; last_refill = 0L; admitted = 0; denied = 0 }
+
+  (* Integer refill: one token per [period] elapsed cycles, capped at
+     [burst]. On cap, re-anchor at [now] so idle time is not banked
+     beyond the burst. *)
+  let refill t ~now =
+    if Int64.compare now t.last_refill > 0 then begin
+      let elapsed = Int64.sub now t.last_refill in
+      let fresh = Int64.to_int (Int64.div elapsed t.period) in
+      if t.tokens + fresh >= t.burst then begin
+        t.tokens <- t.burst;
+        t.last_refill <- now
+      end
+      else begin
+        t.tokens <- t.tokens + fresh;
+        t.last_refill <-
+          Int64.add t.last_refill (Int64.mul (Int64.of_int fresh) t.period)
+      end
+    end
+
+  let admit t ~now =
+    refill t ~now;
+    if t.tokens > 0 then begin
+      t.tokens <- t.tokens - 1;
+      t.admitted <- t.admitted + 1;
+      true
+    end
+    else begin
+      t.denied <- t.denied + 1;
+      false
+    end
+
+  let available t ~now =
+    refill t ~now;
+    t.tokens
+
+  let admitted t = t.admitted
+  let denied t = t.denied
+  let burst t = t.burst
+  let period t = t.period
+end
+
+module Bounded_queue = struct
+  type policy = Reject | Drop_oldest | Block_with_deadline of int64
+
+  type 'a outcome =
+    | Accepted
+    | Rejected
+    | Displaced of 'a
+    | Retry_until of int64
+
+  type 'a t = {
+    capacity : int;
+    policy : policy;
+    items : 'a Queue.t;
+    mutable accepted : int;
+    mutable rejected : int;
+    mutable displaced : int;
+    mutable peak : int;
+  }
+
+  let create ?(policy = Reject) ~capacity () =
+    if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+    {
+      capacity;
+      policy;
+      items = Queue.create ();
+      accepted = 0;
+      rejected = 0;
+      displaced = 0;
+      peak = 0;
+    }
+
+  let accept t x =
+    Queue.add x t.items;
+    t.accepted <- t.accepted + 1;
+    if Queue.length t.items > t.peak then t.peak <- Queue.length t.items
+
+  let push t ~now x =
+    if Queue.length t.items < t.capacity then begin
+      accept t x;
+      Accepted
+    end
+    else
+      match t.policy with
+      | Reject ->
+          t.rejected <- t.rejected + 1;
+          Rejected
+      | Drop_oldest ->
+          let old = Queue.take t.items in
+          t.displaced <- t.displaced + 1;
+          accept t x;
+          Displaced old
+      | Block_with_deadline window ->
+          t.rejected <- t.rejected + 1;
+          Retry_until (Int64.add now window)
+
+  let pop t = Queue.take_opt t.items
+  let length t = Queue.length t.items
+  let capacity t = t.capacity
+  let policy t = t.policy
+  let is_empty t = Queue.is_empty t.items
+  let accepted t = t.accepted
+  let rejected t = t.rejected
+  let displaced t = t.displaced
+  let peak t = t.peak
+end
+
+module Backoff = struct
+  type t = {
+    attempts : int;
+    base : int64;
+    factor : int;
+    cap : int64;
+    jitter : int;
+    rng : Rng.t;
+  }
+
+  let create ?(attempts = 5) ?(base = 100_000L) ?(factor = 2)
+      ?(cap = 3_200_000L) ?(jitter = 1_000) rng =
+    if attempts < 1 then invalid_arg "Backoff.create: attempts < 1";
+    if Int64.compare base 0L < 0 then invalid_arg "Backoff.create: base < 0";
+    if factor < 1 then invalid_arg "Backoff.create: factor < 1";
+    if jitter < 0 then invalid_arg "Backoff.create: jitter < 0";
+    { attempts; base; factor; cap; jitter; rng }
+
+  let attempts t = t.attempts
+
+  let delay t ~attempt =
+    let rec scale d n =
+      if n <= 0 then d
+      else
+        let next = Int64.mul d (Int64.of_int t.factor) in
+        if Int64.compare next t.cap >= 0 then t.cap else scale next (n - 1)
+    in
+    let backoff =
+      if Int64.compare t.base t.cap >= 0 then t.cap else scale t.base attempt
+    in
+    let jitter = if t.jitter = 0 then 0L else Int64.of_int (Rng.int t.rng t.jitter) in
+    Int64.add backoff jitter
+
+  (* Retry loop shared by the client ports: [try_once] returns [Some _]
+     on success; between failed attempts the caller-supplied [sleep]
+     spends the backoff delay (IPC sleep, blocked hypercall, ...).
+     Retries and cycles spent backing off are itemized machine-wide. *)
+  let run t ~counters ~sleep try_once =
+    let rec attempt n =
+      match try_once () with
+      | Some _ as result -> result
+      | None ->
+          if n + 1 >= t.attempts then None
+          else begin
+            let d = delay t ~attempt:n in
+            Counter.incr counters retry_counter;
+            Counter.add counters backoff_counter (Int64.to_int d);
+            sleep d;
+            attempt (n + 1)
+          end
+    in
+    attempt 0
+end
+
+let note_queue_peak counters ~name depth =
+  let key = queue_peak_prefix ^ name in
+  if depth > Counter.get counters key then
+    Counter.add counters key (depth - Counter.get counters key)

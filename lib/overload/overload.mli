@@ -1,0 +1,130 @@
+(** Overload-robustness policies shared by both I/O stacks (E15).
+
+    Three deterministic building blocks: token-bucket admission control
+    (shed work {e before} paying for it — the receive-livelock defense),
+    bounded queues with an explicit full-queue policy (reject,
+    drop-oldest, or tell the producer to retry until a deadline), and a
+    client-side retry schedule with exponential backoff whose jitter is
+    drawn from a seeded {!Vmk_sim.Rng} stream — so overloaded runs stay
+    bit-for-bit reproducible (the property [test/test_overload.ml]
+    asserts).
+
+    Components that apply a policy itemize the outcome machine-wide
+    under the ["overload.*"] counter namespace:
+    {ul
+    {- [overload.drop] — work accepted into the system then discarded
+       (full ring, bounded queue overflow);}
+    {- [overload.shed] — work refused {e early} by admission control,
+       before the expensive part of the path ran;}
+    {- [overload.retry] — client retry attempts under backoff;}
+    {- [overload.backoff_cycles] — virtual cycles spent waiting between
+       retries;}
+    {- [overload.queue_peak.<name>] — high-water mark of each policied
+       queue.}} *)
+
+val drop_counter : string
+val shed_counter : string
+val retry_counter : string
+val backoff_counter : string
+val queue_peak_prefix : string
+
+(** Deterministic token bucket: one token refills every [period] virtual
+    cycles, up to [burst]. Over any window of [w] cycles at most
+    [burst + w/period + 1] requests are admitted (the rate property the
+    qcheck test asserts). Purely integer arithmetic — no float drift. *)
+module Token_bucket : sig
+  type t
+
+  val create : period:int64 -> burst:int -> unit -> t
+  (** @raise Invalid_argument if [period < 1] or [burst < 1]. *)
+
+  val admit : t -> now:int64 -> bool
+  (** Take one token at virtual time [now]; [false] = shed the work.
+      [now] must not decrease across calls (virtual time never does). *)
+
+  val available : t -> now:int64 -> int
+  val admitted : t -> int
+  val denied : t -> int
+  val burst : t -> int
+  val period : t -> int64
+end
+
+(** A bounded FIFO with an explicit policy for the full case — the
+    replacement for the unbounded [Queue.t]s that let latency grow
+    without limit under overload. *)
+module Bounded_queue : sig
+  type policy =
+    | Reject  (** Refuse the newest item (tail drop). *)
+    | Drop_oldest  (** Evict the head to make room (fresh data wins). *)
+    | Block_with_deadline of int64
+        (** The queue itself never blocks (it is pure bookkeeping);
+            pushes into a full queue return {!Retry_until} [now + d] and
+            the producer is expected to back off and retry until that
+            deadline — see {!Backoff}. *)
+
+  type 'a outcome =
+    | Accepted
+    | Rejected
+    | Displaced of 'a  (** Accepted, but this older item was evicted. *)
+    | Retry_until of int64  (** Absolute deadline to retry until. *)
+
+  type 'a t
+
+  val create : ?policy:policy -> capacity:int -> unit -> 'a t
+  (** Default policy {!Reject}.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val push : 'a t -> now:int64 -> 'a -> 'a outcome
+  val pop : 'a t -> 'a option
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+  val policy : 'a t -> policy
+  val is_empty : 'a t -> bool
+  val accepted : 'a t -> int
+  val rejected : 'a t -> int
+  val displaced : 'a t -> int
+
+  val peak : 'a t -> int
+  (** High-water mark of {!length} — never exceeds {!capacity} (the
+      boundedness property the qcheck test asserts). *)
+end
+
+(** Client retry schedule: exponential backoff with seeded jitter.
+    Attempt [n] waits [min (base·factor^n) cap + jitter_n] cycles where
+    [jitter_n] is a fresh draw in [\[0, jitter)] from the stream given at
+    create time — deterministic per (seed, call sequence). *)
+module Backoff : sig
+  type t
+
+  val create :
+    ?attempts:int ->
+    ?base:int64 ->
+    ?factor:int ->
+    ?cap:int64 ->
+    ?jitter:int ->
+    Vmk_sim.Rng.t ->
+    t
+  (** Defaults: 5 attempts, base 100k cycles, factor 2, cap 3.2M,
+      jitter 1000. Split the machine RNG for the stream. *)
+
+  val attempts : t -> int
+
+  val delay : t -> attempt:int -> int64
+  (** Delay before retrying after failed attempt [attempt] (0-based).
+      Draws the jitter, so the call sequence matters for determinism. *)
+
+  val run :
+    t ->
+    counters:Vmk_trace.Counter.set ->
+    sleep:(int64 -> unit) ->
+    (unit -> 'a option) ->
+    'a option
+  (** [run t ~counters ~sleep try_once] retries [try_once] up to
+      [attempts] times, sleeping the scheduled delay between failures
+      via [sleep] and itemizing [overload.retry] /
+      [overload.backoff_cycles]. [None] when every attempt failed. *)
+end
+
+val note_queue_peak : Vmk_trace.Counter.set -> name:string -> int -> unit
+(** Record a queue-depth observation under [overload.queue_peak.<name>]
+    (the counter keeps the maximum seen). *)

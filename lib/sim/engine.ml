@@ -6,6 +6,18 @@ let now t = Clock.now t.clock
 let at t time f = Heap.push t.queue ~time f
 let after t delta f = Heap.push t.queue ~time:(Int64.add (now t) delta) f
 
+(* The heap has no removal, so cancellation is flag-based: the queued
+   closure checks its handle and fires only if still armed. *)
+type handle = { mutable cancelled : bool }
+
+let at_cancellable t time f =
+  let h = { cancelled = false } in
+  Heap.push t.queue ~time (fun () -> if not h.cancelled then f ());
+  h
+
+let cancel h = h.cancelled <- true
+let cancelled h = h.cancelled
+
 let every t period f =
   if Int64.compare period 0L <= 0 then
     invalid_arg "Engine.every: period must be positive";

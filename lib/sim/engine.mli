@@ -27,6 +27,17 @@ val every : t -> int64 -> (unit -> bool) -> unit
 (** [every t period f] runs [f] every [period] cycles starting one period
     from now, for as long as [f] returns [true]. *)
 
+type handle
+(** A cancellable scheduled event (the fault injector's disarm path). *)
+
+val at_cancellable : t -> int64 -> (unit -> unit) -> handle
+(** Like {!at}, but returns a handle; a cancelled event is skipped at
+    dispatch time (the slot stays queued — the heap has no removal — but
+    the callback never runs). *)
+
+val cancel : handle -> unit
+val cancelled : handle -> bool
+
 val pending : t -> int
 (** Number of queued events. *)
 

@@ -1,6 +1,9 @@
 module Machine = Vmk_hw.Machine
 module Frame = Vmk_hw.Frame
 module Disk = Vmk_hw.Disk
+module Engine = Vmk_sim.Engine
+module Counter = Vmk_trace.Counter
+module Overload = Vmk_overload.Overload
 
 let account = "drv.blk"
 
@@ -9,7 +12,7 @@ type inflight = { client : Sysif.tid; frame : Frame.frame; read : bool }
 let reply_safely dst m =
   try Sysif.send dst m with Sysif.Ipc_error _ -> ()
 
-let body mach ?(buffers = 8) () =
+let body mach ?(buffers = 8) ?admit () =
   let disk = mach.Machine.disk in
   let free = Queue.create () in
   for _ = 1 to buffers do
@@ -52,11 +55,29 @@ let body mach ?(buffers = 8) () =
   in
   let handle_client client (m : Sysif.msg) =
     if m.Sysif.label = Proto.ping then reply_safely client (Sysif.msg Proto.ok)
+    else if
+      match admit with
+      | None -> false
+      | Some bucket ->
+          not
+            (Overload.Token_bucket.admit bucket
+               ~now:(Engine.now mach.Machine.engine))
+    then begin
+      (* Admission denied: shed before touching the request (E15). *)
+      Sysif.burn 60;
+      Counter.incr mach.Machine.counters "drv.blk.shed";
+      Counter.incr mach.Machine.counters Overload.shed_counter;
+      reply_safely client (Sysif.msg Proto.busy)
+    end
     else
     let w = Sysif.words m in
     let sector = if Array.length w > 0 then w.(0) else 0 in
     match Queue.take_opt free with
-    | None -> reply_safely client (Sysif.msg Proto.error)
+    | None ->
+        (* Buffer exhaustion is transient — retryable, unlike a media
+           error. *)
+        Counter.incr mach.Machine.counters "drv.blk.busy";
+        reply_safely client (Sysif.msg Proto.busy)
     | Some frame ->
         Sysif.burn 90; (* request setup *)
         if m.Sysif.label = Proto.blk_read then begin

@@ -5,10 +5,18 @@
     Clients block in their [Call] until the disk completes, so killing
     this server (experiment E6) errors out exactly its in-flight clients. *)
 
-val body : Vmk_hw.Machine.t -> ?buffers:int -> unit -> unit
+val body :
+  Vmk_hw.Machine.t ->
+  ?buffers:int ->
+  ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  unit ->
+  unit
 (** Server loop; spawn with {!Kernel.spawn}. [buffers] bounds concurrent
-    in-flight requests (default 8); beyond it requests are rejected with
-    {!Proto.error}. *)
+    in-flight requests (default 8); beyond it requests are answered with
+    {!Proto.busy} — transient exhaustion, retryable with backoff —
+    while a media error stays {!Proto.error}. [admit] adds a
+    token-bucket admission gate that sheds requests before any setup
+    work (counters ["drv.blk.shed"], ["overload.shed"]; E15). *)
 
 val account : string
 (** ["drv.blk"]. *)

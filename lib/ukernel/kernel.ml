@@ -233,10 +233,23 @@ let do_transfer k ~src ~dst ~window msg =
   transfer_cost k msg;
   apply_map_items k ~src ~dst ~window msg
 
+(* A sender that gave up must leave the destination's queue at once —
+   a lazy stale-entry sweep would let an overloaded server keep paying
+   to skip corpses (E15's send-timeout path). *)
+let drop_sender k ~dst_tid ~src_tid =
+  match find k dst_tid with
+  | None -> ()
+  | Some dst ->
+      let kept =
+        List.filter (fun t -> t <> src_tid) (List.of_seq (Queue.to_seq dst.senders))
+      in
+      Queue.clear dst.senders;
+      List.iter (fun t -> Queue.add t dst.senders) kept
+
 (* Arm an IPC timeout for a thread that just blocked: if it is still in
    the same blocking episode when the deadline fires, the operation fails
-   with Timeout. Queue entries left behind are dropped lazily by the
-   stale-entry checks. *)
+   with Timeout. Remaining stale queue entries are dropped lazily by the
+   receive-side checks. *)
 let arm_ipc_timeout k (tcb : tcb) timeout =
   match timeout with
   | None -> ()
@@ -246,7 +259,14 @@ let arm_ipc_timeout k (tcb : tcb) timeout =
       Engine.after k.mach.Machine.engine cycles (fun () ->
           if tcb.block_token = token then
             match tcb.state with
-            | Blocked_send _ | Blocked_recv _ | Blocked_call _ ->
+            | Blocked_send dst_tid ->
+                Counter.incr k.mach.Machine.counters "uk.ipc.timeout";
+                Counter.incr k.mach.Machine.counters "uk.ipc.send_timeout";
+                drop_sender k ~dst_tid ~src_tid:tcb.tid;
+                tcb.out_msg <- None;
+                tcb.faulting <- None;
+                ready k tcb (R_error Timeout)
+            | Blocked_recv _ | Blocked_call _ ->
                 Counter.incr k.mach.Machine.counters "uk.ipc.timeout";
                 tcb.out_msg <- None;
                 tcb.faulting <- None;

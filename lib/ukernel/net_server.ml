@@ -1,13 +1,23 @@
 module Machine = Vmk_hw.Machine
 module Frame = Vmk_hw.Frame
 module Nic = Vmk_hw.Nic
+module Engine = Vmk_sim.Engine
+module Counter = Vmk_trace.Counter
+module Overload = Vmk_overload.Overload
 
 let account = "drv.net"
+
+(* Cost of shedding a packet at the admission gate: peek at the
+   descriptor, consult the bucket, repost the buffer. The livelock
+   defense only works because this is far cheaper than the full
+   900-cycle receive path. *)
+let shed_work = 60
 
 type state = {
   mach : Machine.t;
   free_tx : Frame.frame Queue.t;
-  rx_packets : (int * int) Queue.t; (* tag, len *)
+  admit : Overload.Token_bucket.t option;
+  rx_packets : (int * int) Overload.Bounded_queue.t; (* tag, len *)
   rx_waiters : Sysif.tid Queue.t;
 }
 
@@ -17,9 +27,11 @@ let reply_safely dst m =
 let flush_rx st =
   (* Pair queued packets with waiting clients. *)
   let rec go () =
-    if (not (Queue.is_empty st.rx_packets)) && not (Queue.is_empty st.rx_waiters)
+    if
+      (not (Overload.Bounded_queue.is_empty st.rx_packets))
+      && not (Queue.is_empty st.rx_waiters)
     then begin
-      let tag, len = Queue.take st.rx_packets in
+      let tag, len = Option.get (Overload.Bounded_queue.pop st.rx_packets) in
       let client = Queue.take st.rx_waiters in
       reply_safely client
         (Sysif.msg Proto.ok ~items:[ Sysif.Str { bytes = len; tag } ]);
@@ -30,13 +42,49 @@ let flush_rx st =
 
 let handle_irq st =
   let nic = st.mach.Machine.nic in
+  let counters = st.mach.Machine.counters in
   let rec drain_rx () =
     match Nic.rx_ready nic with
     | Some ev ->
-        (* Record the packet and immediately recycle the buffer: the
-           driver touches descriptor rings, costing a few cycles. *)
-        Sysif.burn 900;
-        Queue.add (ev.Nic.tag, ev.Nic.len) st.rx_packets;
+        let admitted =
+          match st.admit with
+          | None -> true
+          | Some bucket ->
+              Overload.Token_bucket.admit bucket
+                ~now:(Engine.now st.mach.Machine.engine)
+        in
+        if not admitted then begin
+          (* Shed before the expensive receive work (livelock defense). *)
+          Sysif.burn shed_work;
+          Counter.incr counters "drv.net.rx_shed";
+          Counter.incr counters Overload.shed_counter
+        end
+        else begin
+          (* Record the packet and immediately recycle the buffer: the
+             driver touches descriptor rings, costing a few cycles. *)
+          Sysif.burn 900;
+          (match
+             Overload.Bounded_queue.push st.rx_packets
+               ~now:(Engine.now st.mach.Machine.engine)
+               (ev.Nic.tag, ev.Nic.len)
+           with
+          | Overload.Bounded_queue.Accepted -> ()
+          | Overload.Bounded_queue.Rejected ->
+              Counter.incr counters "drv.net.rx_drop";
+              Counter.incr counters Overload.drop_counter
+          | Overload.Bounded_queue.Displaced _ ->
+              (* The newest packet is kept; the oldest queued one paid
+                 the price. *)
+              Counter.incr counters "drv.net.rx_drop";
+              Counter.incr counters Overload.drop_counter
+          | Overload.Bounded_queue.Retry_until _ ->
+              (* Blocking is meaningless in interrupt context; treat as
+                 a rejection. *)
+              Counter.incr counters "drv.net.rx_drop";
+              Counter.incr counters Overload.drop_counter);
+          Overload.note_queue_peak counters ~name:"net_rx"
+            (Overload.Bounded_queue.length st.rx_packets)
+        end;
         Nic.post_rx_buffer nic ev.Nic.frame;
         drain_rx ()
     | None -> ()
@@ -64,7 +112,11 @@ let handle_client st client (m : Sysif.msg) =
         Frame.set_tag frame tag;
         Nic.submit_tx st.mach.Machine.nic frame ~len:bytes;
         reply_safely client (Sysif.msg Proto.ok)
-    | None -> reply_safely client (Sysif.msg Proto.error)
+    | None ->
+        (* Transient exhaustion, not failure: tell the client to back
+           off and retry (E15). *)
+        Counter.incr st.mach.Machine.counters "drv.net.tx_busy";
+        reply_safely client (Sysif.msg Proto.busy)
   end
   else if m.Sysif.label = Proto.net_recv then begin
     Queue.add client st.rx_waiters;
@@ -72,12 +124,19 @@ let handle_client st client (m : Sysif.msg) =
   end
   else reply_safely client (Sysif.msg Proto.error)
 
-let body mach ?(rx_buffers = 16) () =
+let body mach ?(rx_buffers = 16) ?admit ?rx_capacity
+    ?(rx_policy = Overload.Bounded_queue.Drop_oldest) () =
   let st =
     {
       mach;
       free_tx = Queue.create ();
-      rx_packets = Queue.create ();
+      admit;
+      (* [max_int] capacity = the naive unbounded queue (still tracks
+         its high-water mark for the E15 report). *)
+      rx_packets =
+        Overload.Bounded_queue.create ~policy:rx_policy
+          ~capacity:(Option.value rx_capacity ~default:max_int)
+          ();
       rx_waiters = Queue.create ();
     }
   in

@@ -9,9 +9,25 @@
     DMA buffers are allocated straight from the frame table (device
     memory), outside the paging game. *)
 
-val body : Vmk_hw.Machine.t -> ?rx_buffers:int -> unit -> unit
+val body :
+  Vmk_hw.Machine.t ->
+  ?rx_buffers:int ->
+  ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?rx_capacity:int ->
+  ?rx_policy:Vmk_overload.Overload.Bounded_queue.policy ->
+  unit ->
+  unit
 (** Server loop; spawn with {!Kernel.spawn}. Posts [rx_buffers] (default
-    16) receive buffers and keeps the NIC topped up. *)
+    16) receive buffers and keeps the NIC topped up.
+
+    Overload policy (E15): [admit] installs a token-bucket gate on the
+    receive path — packets beyond the rate are shed before the expensive
+    per-packet work (counters ["drv.net.rx_shed"], ["overload.shed"]).
+    [rx_capacity] bounds the received-packet queue (default unbounded —
+    the naive configuration that livelocks); overflow follows
+    [rx_policy] (default drop-oldest; counters ["drv.net.rx_drop"],
+    ["overload.drop"]). A [net_send] finding no free transmit buffer
+    answers {!Proto.busy} (retryable) rather than {!Proto.error}. *)
 
 val account : string
 (** Cycle account the server's work should be charged to: ["drv.net"].

@@ -20,6 +20,11 @@ val ping : int
 val ok : int
 val error : int
 
+val busy : int
+(** Transient overload: the server shed the request (admission denied,
+    no free buffer). Retryable with backoff, unlike [error] which means
+    the operation itself failed (E15). *)
+
 (** {1 Guest-kernel (L4Linux analog) protocol} *)
 
 val guest_syscall : int

@@ -45,6 +45,10 @@ let connect_opt ?timeout ?(generation = 0) chan mach () =
               chan.Blk_channel.back_port <- Some my_port;
               Hcall.xs_write ~path:(sub "backend-port")
                 ~value:(string_of_int my_port);
+              Ring.on_drop chan.Blk_channel.ring (fun () ->
+                  Counter.incr mach.Machine.counters
+                    Vmk_overload.Overload.drop_counter;
+                  Counter.incr mach.Machine.counters "overload.ring_drop.blk");
               Some
                 {
                   chan;
@@ -65,8 +69,14 @@ let notify t = try Hcall.evtchn_send t.my_port with Hcall.Hcall_error _ -> ()
 
 let respond t ring_id ok =
   Hcall.burn Blk_channel.ring_cost;
-  ignore
-    (Ring.push_response t.chan.Blk_channel.ring { Blk_channel.r_id = ring_id; ok });
+  if
+    not
+      (Ring.push_response t.chan.Blk_channel.ring
+         { Blk_channel.r_id = ring_id; ok })
+  then
+    (* The frontend will see the request time out rather than lose the
+       completion silently; the ring's on_drop hook counted the drop. *)
+    Counter.incr t.mach.Machine.counters "blkback.resp_ring_full";
   notify t
 
 let handle_event t =

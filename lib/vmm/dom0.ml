@@ -3,7 +3,8 @@ module Disk = Vmk_hw.Disk
 
 let name = "dom0"
 
-let body mach ?connect_timeout ?generation ?(net = []) ?(blk = []) () =
+let body mach ?connect_timeout ?generation ?net_admit ?(net = []) ?(blk = [])
+    () =
   let mux = Evt_mux.create () in
   (* A channel whose frontend never shows up used to hang Dom0 in the
      handshake forever; with a timeout it is logged and dropped, and
@@ -19,7 +20,8 @@ let body mach ?connect_timeout ?generation ?(net = []) ?(blk = []) () =
     List.filter_map
       (fun chan ->
         match
-          Netback.connect_opt ?timeout:connect_timeout ?generation chan mach ()
+          Netback.connect_opt ?timeout:connect_timeout ?generation
+            ?admit:net_admit chan mach ()
         with
         | Some back -> Some back
         | None -> dropped "net" chan.Net_channel.key)

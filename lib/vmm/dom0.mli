@@ -14,6 +14,7 @@ val body :
   Vmk_hw.Machine.t ->
   ?connect_timeout:int64 ->
   ?generation:int ->
+  ?net_admit:Vmk_overload.Overload.Token_bucket.t ->
   ?net:Net_channel.t list ->
   ?blk:Blk_channel.t list ->
   unit ->
@@ -30,4 +31,8 @@ val body :
 
     [generation > 0] is for a restarted Dom0: each backend runs the
     reconnect handshake under the channel's [key/g<n>/] subtree (see
-    {!Blkback.connect_opt}) so surviving frontends can rebind. *)
+    {!Blkback.connect_opt}) so surviving frontends can rebind.
+
+    [net_admit] installs a single token-bucket admission gate shared by
+    every net backend — one gate for the physical NIC. Packets beyond
+    the rate are shed before delivery work (E15's livelock defense). *)

@@ -73,6 +73,9 @@ type t = {
   mutable next_domid : int;
   mutable next_asid : int;
   mutable last_domid : domid;
+  mutable grant_cap : int option;
+      (** Machine-wide live-grant ceiling; [None] = unbounded. The
+          grant-table-exhaustion fault lever (E15). *)
 }
 
 type stop_reason = Idle | Condition | Dispatch_limit
@@ -89,7 +92,17 @@ let create mach =
     next_domid = 0;
     next_asid = 1;
     last_domid = -1;
+    grant_cap = None;
   }
+
+let set_grant_cap h cap =
+  (match cap with
+  | Some c when c < 0 -> invalid_arg "Hypervisor.set_grant_cap"
+  | Some _ | None -> ());
+  h.grant_cap <- cap
+
+let live_grants h =
+  Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.grants) h.domains 0
 
 let find h domid = Hashtbl.find_opt h.domains domid
 
@@ -285,6 +298,13 @@ let do_evtchn_send h (src : domain) port =
 
 let do_grant h (d : domain) ~to_dom ~frame ~readonly =
   if frame.Frame.owner <> d.name then R_error Permission_denied
+  else if
+    match h.grant_cap with Some cap -> live_grants h >= cap | None -> false
+  then begin
+    Counter.incr h.mach.Machine.counters "vmm.grant_exhausted";
+    vburn h Costs.grant_check;
+    R_error Out_of_memory
+  end
   else begin
     let gref = d.next_gref in
     d.next_gref <- d.next_gref + 1;

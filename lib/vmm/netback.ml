@@ -2,12 +2,19 @@ module Frame = Vmk_hw.Frame
 module Arch = Vmk_hw.Arch
 module Machine = Vmk_hw.Machine
 module Nic = Vmk_hw.Nic
+module Engine = Vmk_sim.Engine
 module Counter = Vmk_trace.Counter
+module Overload = Vmk_overload.Overload
 
 (* Per-packet backend work beyond the hypercalls: ring manipulation,
    demux, softirq bookkeeping. *)
 let per_packet_work = 900
 let per_tx_work = 700
+
+(* Cost of shedding a packet at the admission gate: look at the header,
+   consult the bucket, recycle the buffer. An order of magnitude cheaper
+   than full delivery — the whole point of the livelock defense. *)
+let shed_work = 120
 
 type t = {
   chan : Net_channel.t;
@@ -19,9 +26,12 @@ type t = {
   copy_grants : Hcall.gref Queue.t;
   tx_pending : (int, Hcall.gref) Hashtbl.t;  (** frame index -> gref *)
   nic_target : int;
+  admit : Overload.Token_bucket.t option;
+      (** Rx admission gate; [None] admits everything (naive). *)
   mutable rx_delivered : int;
   mutable tx_forwarded : int;
   mutable dropped_nobuf : int;
+  mutable rx_shed : int;
   mutable dirty : bool;  (** Responses pushed since the last notify. *)
 }
 
@@ -51,7 +61,8 @@ let pump_frontend_posts t =
 
 (* XenBus handshake; see {!Blkback.connect_opt} for the generation
    scheme shared by both backends. *)
-let connect_opt ?timeout ?(generation = 0) chan mach ?(nic_buffers = 16) () =
+let connect_opt ?timeout ?(generation = 0) ?admit chan mach ?(nic_buffers = 16)
+    () =
   let key = chan.Net_channel.key in
   let sub path =
     if generation = 0 then key ^ "/" ^ path
@@ -86,12 +97,22 @@ let connect_opt ?timeout ?(generation = 0) chan mach ?(nic_buffers = 16) () =
                   copy_grants = Queue.create ();
                   tx_pending = Hashtbl.create 32;
                   nic_target = nic_buffers;
+                  admit;
                   rx_delivered = 0;
                   tx_forwarded = 0;
                   dropped_nobuf = 0;
+                  rx_shed = 0;
                   dirty = false;
                 }
               in
+              (* Ring-full rejections (either side, either direction)
+                 surface as machine-wide overload drops. *)
+              let count_ring_drop () =
+                Counter.incr mach.Machine.counters Overload.drop_counter;
+                Counter.incr mach.Machine.counters "overload.ring_drop.net"
+              in
+              Ring.on_drop chan.Net_channel.tx_ring count_ring_drop;
+              Ring.on_drop chan.Net_channel.rx_ring count_ring_drop;
               List.iter
                 (fun f -> Queue.add f t.pool)
                 (Hcall.alloc_frames nic_buffers);
@@ -99,8 +120,8 @@ let connect_opt ?timeout ?(generation = 0) chan mach ?(nic_buffers = 16) () =
               Some t
           | exception Hcall.Hcall_error _ -> None))
 
-let connect chan mach ?nic_buffers () =
-  Option.get (connect_opt chan mach ?nic_buffers ())
+let connect ?admit chan mach ?nic_buffers () =
+  Option.get (connect_opt ?admit chan mach ?nic_buffers ())
 
 let port t = t.my_port
 let frontend t = t.front
@@ -127,66 +148,112 @@ let handle_event t =
   in
   drain_tx ()
 
+(* A full rx response ring means the frontend is not consuming: reject
+   before any grant work so nothing irreversible (a flipped frame, a
+   copied payload) happens for a packet that cannot be delivered. The
+   ring's [on_drop] hook has already counted the machine-wide drop. *)
+let rx_ring_full t =
+  if Ring.response_space t.chan.Net_channel.rx_ring = 0 then begin
+    Counter.incr t.mach.Machine.counters "netback.rx_ring_full";
+    Counter.incr t.mach.Machine.counters Overload.drop_counter;
+    true
+  end
+  else false
+
 (* One hypercall swaps the filled NIC buffer against a page the frontend
    offered; the taken empty page refills the NIC pool. *)
 let deliver_flip t (ev : Nic.rx_event) =
-  match Queue.take_opt t.flip_posts with
-  | None ->
-      t.dropped_nobuf <- t.dropped_nobuf + 1;
-      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
-      Queue.add ev.Nic.frame t.pool;
-      false
-  | Some gref -> begin
-      match Hcall.grant_exchange ~dom:t.front ~gref ~give:ev.Nic.frame with
-      | empty ->
-          Queue.add empty t.pool;
-          ignore
-            (Ring.push_response t.chan.Net_channel.rx_ring
-               (Net_channel.Rx_flipped { full = ev.Nic.frame; len = ev.Nic.len }));
-          t.rx_delivered <- t.rx_delivered + 1;
-          true
-      | exception Hcall.Hcall_error _ ->
-          (* Frontend died: keep the frame for ourselves. *)
-          Queue.add ev.Nic.frame t.pool;
-          false
-    end
+  if rx_ring_full t then begin
+    Queue.add ev.Nic.frame t.pool;
+    false
+  end
+  else
+    match Queue.take_opt t.flip_posts with
+    | None ->
+        t.dropped_nobuf <- t.dropped_nobuf + 1;
+        Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        Queue.add ev.Nic.frame t.pool;
+        false
+    | Some gref -> begin
+        match Hcall.grant_exchange ~dom:t.front ~gref ~give:ev.Nic.frame with
+        | empty ->
+            Queue.add empty t.pool;
+            (* Space was checked before the exchange, so this cannot
+               reject. *)
+            ignore
+              (Ring.push_response t.chan.Net_channel.rx_ring
+                 (Net_channel.Rx_flipped
+                    { full = ev.Nic.frame; len = ev.Nic.len }));
+            t.rx_delivered <- t.rx_delivered + 1;
+            true
+        | exception Hcall.Hcall_error _ ->
+            (* Frontend died: keep the frame for ourselves. *)
+            Queue.add ev.Nic.frame t.pool;
+            false
+      end
 
 let deliver_copy t (ev : Nic.rx_event) =
-  match Queue.take_opt t.copy_grants with
-  | None ->
-      t.dropped_nobuf <- t.dropped_nobuf + 1;
-      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
-      Queue.add ev.Nic.frame t.pool;
-      false
-  | Some gref -> begin
-      (* GNTTABOP_copy: one hypercall validates the grant and moves the
-         bytes — the per-byte half of the ablation, on Dom0's account. *)
-      match
-        Hcall.grant_copy ~dom:t.front ~gref ~bytes:ev.Nic.len ~tag:ev.Nic.tag
-      with
-      | () ->
-          ignore
-            (Ring.push_response t.chan.Net_channel.rx_ring
-               (Net_channel.Rx_copied { rxr_gref = gref; len = ev.Nic.len }));
-          t.rx_delivered <- t.rx_delivered + 1;
-          Queue.add ev.Nic.frame t.pool;
-          true
-      | exception Hcall.Hcall_error _ ->
-          Queue.add ev.Nic.frame t.pool;
-          false
-    end
+  if rx_ring_full t then begin
+    Queue.add ev.Nic.frame t.pool;
+    false
+  end
+  else
+    match Queue.take_opt t.copy_grants with
+    | None ->
+        t.dropped_nobuf <- t.dropped_nobuf + 1;
+        Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        Queue.add ev.Nic.frame t.pool;
+        false
+    | Some gref -> begin
+        (* GNTTABOP_copy: one hypercall validates the grant and moves the
+           bytes — the per-byte half of the ablation, on Dom0's account. *)
+        match
+          Hcall.grant_copy ~dom:t.front ~gref ~bytes:ev.Nic.len ~tag:ev.Nic.tag
+        with
+        | () ->
+            (* Space was checked before the copy, so this cannot
+               reject. *)
+            ignore
+              (Ring.push_response t.chan.Net_channel.rx_ring
+                 (Net_channel.Rx_copied { rxr_gref = gref; len = ev.Nic.len }));
+            t.rx_delivered <- t.rx_delivered + 1;
+            Queue.add ev.Nic.frame t.pool;
+            true
+        | exception Hcall.Hcall_error _ ->
+            Queue.add ev.Nic.frame t.pool;
+            false
+      end
 
 let deliver_rx t (ev : Nic.rx_event) =
-  pump_frontend_posts t;
-  Hcall.burn per_packet_work;
-  Counter.incr t.mach.Machine.counters "netback.rx_packets";
-  Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
-  let ok =
-    match t.chan.Net_channel.mode with
-    | Net_channel.Flip -> deliver_flip t ev
-    | Net_channel.Copy -> deliver_copy t ev
+  let shed =
+    match t.admit with
+    | None -> false
+    | Some bucket ->
+        not
+          (Overload.Token_bucket.admit bucket
+             ~now:(Engine.now t.mach.Machine.engine))
   in
-  if ok then t.dirty <- true
+  if shed then begin
+    (* Shed at the admission gate, before the expensive per-packet work —
+       the receive-livelock defense. *)
+    Hcall.burn shed_work;
+    t.rx_shed <- t.rx_shed + 1;
+    Counter.incr t.mach.Machine.counters "netback.rx_shed";
+    Counter.incr t.mach.Machine.counters Overload.shed_counter;
+    Queue.add ev.Nic.frame t.pool
+  end
+  else begin
+    pump_frontend_posts t;
+    Hcall.burn per_packet_work;
+    Counter.incr t.mach.Machine.counters "netback.rx_packets";
+    Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
+    let ok =
+      match t.chan.Net_channel.mode with
+      | Net_channel.Flip -> deliver_flip t ev
+      | Net_channel.Copy -> deliver_copy t ev
+    in
+    if ok then t.dirty <- true
+  end
 
 let complete_tx t (frame : Frame.frame) =
   match Hashtbl.find_opt t.tx_pending frame.Frame.index with
@@ -194,10 +261,14 @@ let complete_tx t (frame : Frame.frame) =
       Hcall.burn Net_channel.ring_cost;
       Hashtbl.remove t.tx_pending frame.Frame.index;
       (try Hcall.grant_unmap ~dom:t.front ~gref with Hcall.Hcall_error _ -> ());
-      ignore
-        (Ring.push_response t.chan.Net_channel.tx_ring
-           { Net_channel.txr_gref = gref });
-      t.dirty <- true;
+      if
+        Ring.push_response t.chan.Net_channel.tx_ring
+          { Net_channel.txr_gref = gref }
+      then t.dirty <- true
+      else
+        (* The frontend is not reaping tx completions; it will see the
+           buffer as lost. The ring's on_drop hook counted the drop. *)
+        Counter.incr t.mach.Machine.counters "netback.txr_ring_full";
       true
   | None -> false
 
@@ -231,3 +302,8 @@ let handle_nic t =
 let rx_delivered t = t.rx_delivered
 let tx_forwarded t = t.tx_forwarded
 let rx_dropped_nobuf t = t.dropped_nobuf
+let rx_shed t = t.rx_shed
+
+let ring_drops t =
+  Ring.dropped_total t.chan.Net_channel.tx_ring
+  + Ring.dropped_total t.chan.Net_channel.rx_ring

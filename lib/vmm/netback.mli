@@ -12,15 +12,24 @@
 
 type t
 
-val connect : Net_channel.t -> Vmk_hw.Machine.t -> ?nic_buffers:int -> unit -> t
+val connect :
+  ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  Net_channel.t ->
+  Vmk_hw.Machine.t ->
+  ?nic_buffers:int ->
+  unit ->
+  t
 (** Backend half of the handshake. Spins (yielding) until the frontend
     has published its port, then binds, collects the frontend's initial
     buffer posts and stocks the NIC with [nic_buffers] receive buffers
-    (default 16). *)
+    (default 16). [admit] installs a token-bucket admission gate on the
+    receive path: packets beyond the rate are shed cheaply before the
+    per-packet delivery work — the receive-livelock defense (E15). *)
 
 val connect_opt :
   ?timeout:int64 ->
   ?generation:int ->
+  ?admit:Vmk_overload.Overload.Token_bucket.t ->
   Net_channel.t ->
   Vmk_hw.Machine.t ->
   ?nic_buffers:int ->
@@ -61,3 +70,11 @@ val tx_forwarded : t -> int
 val rx_dropped_nobuf : t -> int
 (** Packets dropped because the frontend left the backend without
     buffers (copy mode) — back-pressure under overload. *)
+
+val rx_shed : t -> int
+(** Packets shed at the admission gate before delivery work. *)
+
+val ring_drops : t -> int
+(** Total ring-full rejections on this channel's two rings, both
+    directions and both sides (the E15 itemization of what {!Ring}
+    previously dropped silently). *)

@@ -14,11 +14,22 @@ type t = {
   delivered : (int * int) Queue.t;
   mutable tx_acked : int;
   mutable rx_received : int;
+  mutable rx_post_dropped : int;
+      (** Receive-buffer posts rejected by a full rx ring — explicit
+          back-pressure, not a silent leak (the grant is revoked). *)
   mutable dead : bool;
 }
 
 let guard t f = try f () with Hcall.Hcall_error _ -> t.dead <- true
 let notify t = guard t (fun () -> Hcall.evtchn_send t.my_port)
+
+(* A rejected post used to leave the grant dangling; now the grant is
+   revoked and the rejection counted — the frontend backs off and
+   reposts on the next pump. *)
+let unpost t gref =
+  t.rx_post_dropped <- t.rx_post_dropped + 1;
+  Hashtbl.remove t.rx_grants gref;
+  try Hcall.grant_revoke gref with Hcall.Hcall_error _ -> ()
 
 let post_rx_buffer t frame =
   match t.chan.Net_channel.mode with
@@ -27,17 +38,21 @@ let post_rx_buffer t frame =
           let gref = Hcall.grant ~to_dom:t.backend ~frame ~readonly:false in
           Hashtbl.replace t.rx_grants gref frame;
           Hcall.burn Net_channel.ring_cost;
-          ignore
-            (Ring.push_request t.chan.Net_channel.rx_ring
-               (Net_channel.Rx_post_flip { flip_gref = gref })))
+          if
+            not
+              (Ring.push_request t.chan.Net_channel.rx_ring
+                 (Net_channel.Rx_post_flip { flip_gref = gref }))
+          then unpost t gref)
   | Net_channel.Copy ->
       guard t (fun () ->
           let gref = Hcall.grant ~to_dom:t.backend ~frame ~readonly:false in
           Hashtbl.replace t.rx_grants gref frame;
           Hcall.burn Net_channel.ring_cost;
-          ignore
-            (Ring.push_request t.chan.Net_channel.rx_ring
-               (Net_channel.Rx_post_copy { rx_gref = gref })))
+          if
+            not
+              (Ring.push_request t.chan.Net_channel.rx_ring
+                 (Net_channel.Rx_post_copy { rx_gref = gref }))
+          then unpost t gref)
 
 let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
   let my_dom = Hcall.dom_id () in
@@ -61,6 +76,7 @@ let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
       delivered = Queue.create ();
       tx_acked = 0;
       rx_received = 0;
+      rx_post_dropped = 0;
       dead = false;
     }
   in
@@ -117,10 +133,11 @@ let pump t =
                 Queue.add (len, frame.Frame.tag) t.delivered;
                 t.rx_received <- t.rx_received + 1;
                 Hcall.burn Net_channel.ring_cost;
-                ignore
-                  (Ring.push_request t.chan.Net_channel.rx_ring
-                     (Net_channel.Rx_post_copy { rx_gref = rxr_gref }));
-                reposted := true
+                if
+                  Ring.push_request t.chan.Net_channel.rx_ring
+                    (Net_channel.Rx_post_copy { rx_gref = rxr_gref })
+                then reposted := true
+                else unpost t rxr_gref
             | None -> ()));
         drain_rx ()
     | None -> ()
@@ -182,6 +199,7 @@ let recv_blocking t ?timeout () =
 
 let tx_acked t = t.tx_acked
 let rx_received t = t.rx_received
+let rx_post_dropped t = t.rx_post_dropped
 let backend_dead t = t.dead
 let generation t = t.generation
 

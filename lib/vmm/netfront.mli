@@ -47,6 +47,12 @@ val tx_acked : t -> int
 (** Transmit responses seen so far. *)
 
 val rx_received : t -> int
+
+val rx_post_dropped : t -> int
+(** Receive-buffer posts rejected by a full rx ring. The grant is
+    revoked on rejection, so nothing leaks; the frontend reposts on a
+    later pump (E15 back-pressure, was a silent drop). *)
+
 val backend_dead : t -> bool
 (** A send or notification failed with [Dead_domain]. *)
 

@@ -4,7 +4,10 @@ type ('req, 'resp) t = {
   resps : 'resp Queue.t;
   mutable req_total : int;
   mutable resp_total : int;
-  mutable dropped : int;
+  mutable req_dropped : int;
+  mutable resp_dropped : int;
+  mutable limit : int option;
+  mutable on_drop : unit -> unit;
 }
 
 let create ~capacity () =
@@ -15,14 +18,29 @@ let create ~capacity () =
     resps = Queue.create ();
     req_total = 0;
     resp_total = 0;
-    dropped = 0;
+    req_dropped = 0;
+    resp_dropped = 0;
+    limit = None;
+    on_drop = (fun () -> ());
   }
 
 let capacity t = t.capacity
 
+let effective_capacity t =
+  match t.limit with None -> t.capacity | Some l -> min l t.capacity
+
+let set_limit t limit =
+  (match limit with
+  | Some l when l < 1 -> invalid_arg "Ring.set_limit: limit < 1"
+  | Some _ | None -> ());
+  t.limit <- limit
+
+let on_drop t f = t.on_drop <- f
+
 let push_request t req =
-  if Queue.length t.reqs >= t.capacity then begin
-    t.dropped <- t.dropped + 1;
+  if Queue.length t.reqs >= effective_capacity t then begin
+    t.req_dropped <- t.req_dropped + 1;
+    t.on_drop ();
     false
   end
   else begin
@@ -34,8 +52,9 @@ let push_request t req =
 let pop_request t = Queue.take_opt t.reqs
 
 let push_response t resp =
-  if Queue.length t.resps >= t.capacity then begin
-    t.dropped <- t.dropped + 1;
+  if Queue.length t.resps >= effective_capacity t then begin
+    t.resp_dropped <- t.resp_dropped + 1;
+    t.on_drop ();
     false
   end
   else begin
@@ -47,6 +66,10 @@ let push_response t resp =
 let pop_response t = Queue.take_opt t.resps
 let requests_pending t = Queue.length t.reqs
 let responses_pending t = Queue.length t.resps
+let request_space t = max 0 (effective_capacity t - Queue.length t.reqs)
+let response_space t = max 0 (effective_capacity t - Queue.length t.resps)
 let requests_total t = t.req_total
 let responses_total t = t.resp_total
-let dropped_total t = t.dropped
+let request_dropped_total t = t.req_dropped
+let response_dropped_total t = t.resp_dropped
+let dropped_total t = t.req_dropped + t.resp_dropped

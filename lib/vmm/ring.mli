@@ -14,6 +14,21 @@ val create : capacity:int -> unit -> ('req, 'resp) t
 
 val capacity : ('req, 'resp) t -> int
 
+val effective_capacity : ('req, 'resp) t -> int
+(** [capacity] clamped by any {!set_limit} squeeze in force. *)
+
+val set_limit : ('req, 'resp) t -> int option -> unit
+(** Clamp ([Some l]) or restore ([None]) the effective capacity — the
+    ring-saturation fault lever ({!Vmk_faults} [Ring_squeeze]). Entries
+    already queued above the new limit stay until popped; only new
+    pushes see the clamp.
+    @raise Invalid_argument if [l < 1]. *)
+
+val on_drop : ('req, 'resp) t -> (unit -> unit) -> unit
+(** Install a hook invoked on every rejected push (either direction),
+    replacing any previous hook. Backends use it to surface per-ring
+    drops into machine-wide overload counters. *)
+
 val push_request : ('req, 'resp) t -> 'req -> bool
 (** Enqueue a request; [false] when the ring is full (frontend must back
     off — full rings are where Dom0 saturation shows up in E3). *)
@@ -24,9 +39,23 @@ val pop_response : ('req, 'resp) t -> 'resp option
 val requests_pending : ('req, 'resp) t -> int
 val responses_pending : ('req, 'resp) t -> int
 
+val request_space : ('req, 'resp) t -> int
+(** Free request slots under the effective capacity. *)
+
+val response_space : ('req, 'resp) t -> int
+(** Free response slots — backends check this {e before} doing
+    irreversible work (grant exchange) so a full response ring is an
+    explicit cheap drop, not a leaked frame. *)
+
 val requests_total : ('req, 'resp) t -> int
 (** Requests ever pushed (throughput accounting). *)
 
 val responses_total : ('req, 'resp) t -> int
+
+val request_dropped_total : ('req, 'resp) t -> int
+(** Request pushes rejected because the ring was full. *)
+
+val response_dropped_total : ('req, 'resp) t -> int
+
 val dropped_total : ('req, 'resp) t -> int
-(** Pushes rejected because a ring was full. *)
+(** Pushes rejected because a ring was full (both directions). *)

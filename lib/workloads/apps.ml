@@ -50,6 +50,23 @@ let net_rx_stream ?stats ~packets () () =
   in
   loop packets
 
+(* The E15 overload probe: receive until [packets] have arrived or the
+   stack errors out (timeout after the traffic ends), recording each
+   packet's (tag, virtual arrival time) so the experiment can compute
+   per-packet latency against the injection times. *)
+let net_rx_probe ?stats ~now ~record ~packets () () =
+  let st = match stats with Some s -> s | None -> default () in
+  let rec loop remaining =
+    if remaining > 0 then
+      if
+        attempt st (fun () ->
+            let len, tag = Sys_g.net_recv () in
+            record ~tag ~at:(now ());
+            len)
+      then loop (remaining - 1)
+  in
+  loop packets
+
 let net_tx_stream ?stats ~packets ~len () () =
   let st = match stats with Some s -> s | None -> default () in
   let rec loop i =

@@ -28,6 +28,20 @@ val net_rx_stream :
 (** Receive [packets] packets (the [CG05] receive side, E3). Stops early
     when the network dies. *)
 
+val net_rx_probe :
+  ?stats:stats ->
+  now:(unit -> int64) ->
+  record:(tag:int -> at:int64 -> unit) ->
+  packets:int ->
+  unit ->
+  unit ->
+  unit
+(** Like {!net_rx_stream}, but reports each packet's tag and virtual
+    arrival time through [record] — paired with
+    {!Traffic.constant_rate}'s [on_inject] this yields the per-packet
+    latency distribution E15's degradation curves are built from. Stops
+    at [packets] or on the first receive error. *)
+
 val net_tx_stream :
   ?stats:stats -> packets:int -> len:int -> unit -> unit -> unit
 

@@ -5,15 +5,17 @@ module Rng = Vmk_sim.Rng
 
 type t = { mutable injected : int; count : int }
 
-let inject mach t ~key ~len =
+let inject ?(on_inject = fun ~tag:_ ~at:_ -> ()) mach t ~key ~len =
   t.injected <- t.injected + 1;
-  Nic.inject_rx mach.Machine.nic ~tag:((key * 1_000_000) + t.injected) ~len
+  let tag = (key * 1_000_000) + t.injected in
+  on_inject ~tag ~at:(Engine.now mach.Machine.engine);
+  Nic.inject_rx mach.Machine.nic ~tag ~len
 
-let constant_rate mach ~gate ~period ~len ~count ?(key = 1) () =
+let constant_rate mach ~gate ~period ~len ~count ?(key = 1) ?on_inject () =
   let t = { injected = 0; count } in
   Engine.every mach.Machine.engine period (fun () ->
       if t.injected < count then begin
-        if gate () then inject mach t ~key ~len;
+        if gate () then inject ?on_inject mach t ~key ~len;
         true
       end
       else false);

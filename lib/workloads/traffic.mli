@@ -16,12 +16,15 @@ val constant_rate :
   len:int ->
   count:int ->
   ?key:int ->
+  ?on_inject:(tag:int -> at:int64 -> unit) ->
   unit ->
   t
 (** Inject one [len]-byte packet every [period] cycles while [gate ()]
     holds (ticks failing the gate are skipped, not counted), until
     [count] packets were injected. [key] is the demux key packets are
-    tagged for (default 1: tag = key·10⁶ + sequence). *)
+    tagged for (default 1: tag = key·10⁶ + sequence). [on_inject] is
+    called with each packet's tag and injection time — the latency
+    reference point for E15's per-packet delay measurements. *)
 
 val poisson_rate :
   Vmk_hw.Machine.t ->

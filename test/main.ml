@@ -11,6 +11,7 @@ let () =
       ("guest", Test_guest.suite);
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
+      ("overload", Test_overload.suite);
       ("smp", Test_smp.suite);
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);

@@ -159,6 +159,33 @@ let test_arm_schedules_storm_and_kill () =
   check_int "kill counted" 1
     (Counter.get mach.Machine.counters "faults.kill")
 
+(* Disarming before the events fire must cancel them: the engine still
+   runs to quiescence, but no storm raises, no kill, no squeeze. *)
+let test_disarm_cancels_scheduled_events () =
+  let mach = Machine.create ~seed:10L () in
+  let killed = ref [] in
+  let squeezed = ref 0 in
+  let armed =
+    Faults.arm
+      ~pressure:(fun _ -> incr squeezed)
+      [
+        Faults.Irq_storm
+          { line = Machine.nic_irq; at = 1_000L; count = 8; gap = 10L };
+        Faults.Kill_at { at = 5_000L; target = "blk-server" };
+        Faults.Memory_pressure { m_at = 2_000L; m_frames = 4; m_victim = "x" };
+      ]
+      mach
+      ~kill:(fun target -> killed := target :: !killed)
+  in
+  Faults.disarm armed mach;
+  Engine.run mach.Machine.engine;
+  check_int "no kill fired" 0 (List.length !killed);
+  check_int "no squeeze fired" 0 !squeezed;
+  check_int "no storm raises" 0
+    (Counter.get mach.Machine.counters "faults.irq_storm");
+  check_int "no kill counted" 0
+    (Counter.get mach.Machine.counters "faults.kill")
+
 (* --- unwind-kill: the victim observes Killed --- *)
 
 let test_kill_thread_observable_by_victim () =
@@ -295,6 +322,8 @@ let suite =
       test_nic_drop_eats_packet;
     Alcotest.test_case "arm schedules storms and kills" `Quick
       test_arm_schedules_storm_and_kill;
+    Alcotest.test_case "disarm cancels scheduled events" `Quick
+      test_disarm_cancels_scheduled_events;
     Alcotest.test_case "kill_thread is observable by the victim" `Quick
       test_kill_thread_observable_by_victim;
     Alcotest.test_case "watchdog respawns a dead server" `Quick
