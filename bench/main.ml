@@ -3,13 +3,23 @@
    (who wins, crossovers) come from `vmk run <id>`; these benches keep
    the simulator itself honest about its own performance.
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe
+     dune exec bench/main.exe -- --only e16 --json BENCH_e16.json
+
+   [--only SUBSTR] restricts the run to entries whose name contains the
+   substring; [--json PATH] additionally writes the measured table as a
+   small JSON document (the committed BENCH_e16.json baseline is
+   produced this way). *)
 
 open Bechamel
 open Toolkit
 module Machine = Vmk_hw.Machine
 module Arch = Vmk_hw.Arch
 module Cache = Vmk_hw.Cache
+module Irq = Vmk_hw.Irq
+module Nic = Vmk_hw.Nic
+module Frame = Vmk_hw.Frame
+module Engine = Vmk_sim.Engine
 module Kernel = Vmk_ukernel.Kernel
 module Sysif = Vmk_ukernel.Sysif
 module Hypervisor = Vmk_vmm.Hypervisor
@@ -199,140 +209,210 @@ let saturated_ring_push pushes () =
     ignore (Vmk_vmm.Ring.push_request ring i)
   done
 
+(* E16: NIC drain at a given poll-batch size. [batch = 1] is the legacy
+   per-packet path (one IRQ, one rx_ready per packet); larger batches
+   run the NAPI shape — mask, poll rounds of [batch], unmask — under a
+   mitigation window sized to the batch. Packets arrive every 100
+   cycles and the kernel hits its preemption point at the same rate. *)
+let nic_drain ~batch packets () =
+  let e = Engine.create () in
+  let irq = Irq.create ~lines:1 in
+  let nic = Nic.create e irq ~irq_line:0 () in
+  let frames = Frame.create ~frames:(packets + 1) in
+  for _ = 1 to packets do
+    Nic.post_rx_buffer nic (Frame.alloc frames ~owner:"bench" ())
+  done;
+  if batch > 1 then Nic.set_mitigation nic (Int64.of_int (batch * 100));
+  for i = 1 to packets do
+    Engine.at e (Int64.of_int (i * 100)) (fun () ->
+        Nic.inject_rx nic ~tag:i ~len:512)
+  done;
+  let horizon = Int64.of_int ((packets + batch) * 100 + 5_000) in
+  let service () =
+    if batch = 1 then begin
+      Irq.ack irq 0;
+      let rec drain () =
+        match Nic.rx_ready nic with Some _ -> drain () | None -> ()
+      in
+      drain ()
+    end
+    else begin
+      Irq.mask irq 0;
+      let rec rounds () =
+        match Nic.poll nic ~budget:batch with
+        | [] ->
+            Irq.ack irq 0;
+            Irq.unmask irq 0
+        | _ -> rounds ()
+      in
+      rounds ()
+    end
+  in
+  let rec tick at =
+    Engine.at e at (fun () ->
+        if Irq.next_pending irq <> None then service ();
+        let next = Int64.add at 100L in
+        if Int64.compare next horizon <= 0 then tick next)
+  in
+  tick 0L;
+  Engine.run e
+
 (* --- test registry: one per table/figure --- *)
 
-let tests =
-  Test.make_grouped ~name:"vmk" ~fmt:"%s/%s"
-    [
-      Test.make ~name:"e1_audit_coverage"
-        (Staged.stage (fun () ->
-             let counters = Vmk_trace.Counter.create_set () in
-             Vmk_trace.Counter.add counters "vmm.page_flip" 3;
-             ignore (Vmk_core.Audit.coverage counters Vmk_core.Audit.vmm)));
-      Test.make ~name:"e2_l4_ipc_roundtrip_x50" (Staged.stage (l4_pingpong 50));
-      Test.make ~name:"e2_evtchn_roundtrip_x50"
-        (Staged.stage (evtchn_pingpong 50));
-      Test.make ~name:"e3_io_flip_50pkts"
-        (Staged.stage (io_stream ~mode:Net_channel.Flip 50));
-      Test.make ~name:"a1_io_copy_50pkts"
-        (Staged.stage (io_stream ~mode:Net_channel.Copy 50));
-      Test.make ~name:"e4_null_syscall_native_x200"
-        (Staged.stage (syscall_loop ~structure:`Native 200));
-      Test.make ~name:"e4_null_syscall_xen_tls_x200"
-        (Staged.stage (syscall_loop ~structure:`Xen_tls 200));
-      Test.make ~name:"e4_null_syscall_l4_x200"
-        (Staged.stage (syscall_loop ~structure:`L4 200));
-      Test.make ~name:"e5_mixed_xen_x20"
-        (Staged.stage (mixed_run ~structure:`Xen 20));
-      Test.make ~name:"e5_mixed_l4_x20"
-        (Staged.stage (mixed_run ~structure:`L4 20));
-      Test.make ~name:"e6_kill_50_blocked_clients"
-        (Staged.stage (kill_with_blocked_clients 50));
-      Test.make ~name:"e7_pingpong_arm64_x50"
-        (Staged.stage (l4_pingpong ~arch:(Arch.profile Arch.Arm64) 50));
-      Test.make ~name:"e8_macro_compile_like" (Staged.stage macro_compile);
-      Test.make ~name:"e9_icache_thrash" (Staged.stage icache_thrash);
-      Test.make ~name:"e10_tcb_reliance_l4"
-        (Staged.stage (fun () ->
-             ignore
-               (Scenario.run_l4 ~net:false
-                  ~app:(Apps.blk_mix ~ops:10 ~span:8 ~seed:3 ())
-                  ())));
-      Test.make ~name:"e11_rt_jitter_l4"
-        (Staged.stage (fun () ->
-             ignore (Vmk_core.Exp_e11.l4_jitter ~quick:true)));
-      Test.make ~name:"e12_mach_rpc_x50"
-        (Staged.stage (fun () ->
-             let mach = Machine.create ~seed:1L () in
-             let k = Vmk_ukernel.Mach_kernel.create mach in
-             let module Mif = Vmk_ukernel.Mach_kernel.Mif in
-             let box = ref None in
-             let _server =
-               Vmk_ukernel.Mach_kernel.spawn k ~name:"s" (fun () ->
-                   let port = Mif.port_create () in
-                   box := Some port;
-                   let rec loop () =
-                     let m = Mif.recv port in
-                     Mif.send m.Mif.tag
-                       { Mif.mlabel = 0; inline_words = 0; ool_bytes = 0; tag = 0 };
-                     loop ()
-                   in
-                   loop ())
-             in
-             let _client =
-               Vmk_ukernel.Mach_kernel.spawn k ~name:"c" (fun () ->
-                   let reply = Mif.port_create () in
-                   let rec wait () =
-                     match !box with
-                     | Some p -> p
-                     | None ->
-                         Mif.yield ();
-                         wait ()
-                   in
-                   let req = wait () in
-                   for _ = 1 to 50 do
-                     Mif.send req
-                       { Mif.mlabel = 1; inline_words = 0; ool_bytes = 0; tag = reply };
-                     ignore (Mif.recv reply)
-                   done;
-                   Mif.exit ())
-             in
-             ignore (Vmk_ukernel.Mach_kernel.run k)));
-      Test.make ~name:"e13_l4_kill_recover"
-        (Staged.stage (fun () ->
-             ignore (Vmk_core.Exp_e13.run_one ~stack:`L4 ~rate:15 ~quick:true)));
-      Test.make ~name:"e13_vmm_kill_recover"
-        (Staged.stage (fun () ->
-             ignore (Vmk_core.Exp_e13.run_one ~stack:`Vmm ~rate:15 ~quick:true)));
-      Test.make ~name:"e14_xcore_ipc_roundtrip_x50"
-        (Staged.stage (smp_xcore_pingpong 50));
-      Test.make ~name:"e14_shootdown_broadcast_x50"
-        (Staged.stage (smp_shootdown_storm 50));
-      Test.make ~name:"e15_token_bucket_admit_x200"
-        (Staged.stage (token_bucket_admit 200));
-      Test.make ~name:"e15_backoff_schedule_x50"
-        (Staged.stage (backoff_schedule 50));
-      Test.make ~name:"e15_saturated_ring_push_x200"
-        (Staged.stage (saturated_ring_push 200));
-      Test.make ~name:"a5_contended_io_boosted"
-        (Staged.stage (fun () ->
-             ignore
-               (Scenario.run_xen ~blk:false
-                  ~traffic:(fun mach ~gate ->
-                    Traffic.constant_rate mach ~gate ~period:20_000L ~len:512
-                      ~count:30 ())
-                  ~app:(Apps.net_rx_stream ~packets:30 ())
-                  ())));
-      Test.make ~name:"a6_pt_batch_paravirt"
-        (Staged.stage (fun () ->
-             let mach = Machine.create ~seed:2L () in
-             let h = Hypervisor.create mach in
-             let _ =
-               Hypervisor.create_domain h ~name:"g" (fun () ->
-                   let frames = Array.of_list (Hcall.alloc_frames 8) in
-                   for round = 1 to 10 do
-                     ignore round;
-                     let ops =
-                       List.concat_map
-                         (fun i ->
-                           [
-                             Hcall.Pt_map
-                               {
-                                 bframe = frames.(i);
-                                 bvpn = 0x500 + i;
-                                 bwritable = true;
-                               };
-                             Hcall.Pt_unmap (0x500 + i);
-                           ])
-                         [ 0; 1; 2; 3; 4; 5; 6; 7 ]
-                     in
-                     Hcall.pt_batch ops
-                   done)
-             in
-             ignore (Hypervisor.run h)));
-    ]
+let entries =
+  [
+    ( "e1_audit_coverage",
+      Staged.stage (fun () ->
+          let counters = Vmk_trace.Counter.create_set () in
+          Vmk_trace.Counter.add counters "vmm.page_flip" 3;
+          ignore (Vmk_core.Audit.coverage counters Vmk_core.Audit.vmm)) );
+    ("e2_l4_ipc_roundtrip_x50", Staged.stage (l4_pingpong 50));
+    ("e2_evtchn_roundtrip_x50", Staged.stage (evtchn_pingpong 50));
+    ("e3_io_flip_50pkts", Staged.stage (io_stream ~mode:Net_channel.Flip 50));
+    ("a1_io_copy_50pkts", Staged.stage (io_stream ~mode:Net_channel.Copy 50));
+    ( "e4_null_syscall_native_x200",
+      Staged.stage (syscall_loop ~structure:`Native 200) );
+    ( "e4_null_syscall_xen_tls_x200",
+      Staged.stage (syscall_loop ~structure:`Xen_tls 200) );
+    ( "e4_null_syscall_l4_x200",
+      Staged.stage (syscall_loop ~structure:`L4 200) );
+    ("e5_mixed_xen_x20", Staged.stage (mixed_run ~structure:`Xen 20));
+    ("e5_mixed_l4_x20", Staged.stage (mixed_run ~structure:`L4 20));
+    ("e6_kill_50_blocked_clients", Staged.stage (kill_with_blocked_clients 50));
+    ( "e7_pingpong_arm64_x50",
+      Staged.stage (l4_pingpong ~arch:(Arch.profile Arch.Arm64) 50) );
+    ("e8_macro_compile_like", Staged.stage macro_compile);
+    ("e9_icache_thrash", Staged.stage icache_thrash);
+    ( "e10_tcb_reliance_l4",
+      Staged.stage (fun () ->
+          ignore
+            (Scenario.run_l4 ~net:false
+               ~app:(Apps.blk_mix ~ops:10 ~span:8 ~seed:3 ())
+               ())) );
+    ( "e11_rt_jitter_l4",
+      Staged.stage (fun () -> ignore (Vmk_core.Exp_e11.l4_jitter ~quick:true))
+    );
+    ( "e12_mach_rpc_x50",
+      Staged.stage (fun () ->
+          let mach = Machine.create ~seed:1L () in
+          let k = Vmk_ukernel.Mach_kernel.create mach in
+          let module Mif = Vmk_ukernel.Mach_kernel.Mif in
+          let box = ref None in
+          let _server =
+            Vmk_ukernel.Mach_kernel.spawn k ~name:"s" (fun () ->
+                let port = Mif.port_create () in
+                box := Some port;
+                let rec loop () =
+                  let m = Mif.recv port in
+                  Mif.send m.Mif.tag
+                    { Mif.mlabel = 0; inline_words = 0; ool_bytes = 0; tag = 0 };
+                  loop ()
+                in
+                loop ())
+          in
+          let _client =
+            Vmk_ukernel.Mach_kernel.spawn k ~name:"c" (fun () ->
+                let reply = Mif.port_create () in
+                let rec wait () =
+                  match !box with
+                  | Some p -> p
+                  | None ->
+                      Mif.yield ();
+                      wait ()
+                in
+                let req = wait () in
+                for _ = 1 to 50 do
+                  Mif.send req
+                    { Mif.mlabel = 1; inline_words = 0; ool_bytes = 0; tag = reply };
+                  ignore (Mif.recv reply)
+                done;
+                Mif.exit ())
+          in
+          ignore (Vmk_ukernel.Mach_kernel.run k)) );
+    ( "e13_l4_kill_recover",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e13.run_one ~stack:`L4 ~rate:15 ~quick:true)) );
+    ( "e13_vmm_kill_recover",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e13.run_one ~stack:`Vmm ~rate:15 ~quick:true)) );
+    ("e14_xcore_ipc_roundtrip_x50", Staged.stage (smp_xcore_pingpong 50));
+    ("e14_shootdown_broadcast_x50", Staged.stage (smp_shootdown_storm 50));
+    ("e15_token_bucket_admit_x200", Staged.stage (token_bucket_admit 200));
+    ("e15_backoff_schedule_x50", Staged.stage (backoff_schedule 50));
+    ("e15_saturated_ring_push_x200", Staged.stage (saturated_ring_push 200));
+    ("e16_nic_drain_batch1_x96", Staged.stage (nic_drain ~batch:1 96));
+    ("e16_nic_drain_batch8_x96", Staged.stage (nic_drain ~batch:8 96));
+    ("e16_nic_drain_batch32_x96", Staged.stage (nic_drain ~batch:32 96));
+    ( "a5_contended_io_boosted",
+      Staged.stage (fun () ->
+          ignore
+            (Scenario.run_xen ~blk:false
+               ~traffic:(fun mach ~gate ->
+                 Traffic.constant_rate mach ~gate ~period:20_000L ~len:512
+                   ~count:30 ())
+               ~app:(Apps.net_rx_stream ~packets:30 ())
+               ())) );
+    ( "a6_pt_batch_paravirt",
+      Staged.stage (fun () ->
+          let mach = Machine.create ~seed:2L () in
+          let h = Hypervisor.create mach in
+          let _ =
+            Hypervisor.create_domain h ~name:"g" (fun () ->
+                let frames = Array.of_list (Hcall.alloc_frames 8) in
+                for round = 1 to 10 do
+                  ignore round;
+                  let ops =
+                    List.concat_map
+                      (fun i ->
+                        [
+                          Hcall.Pt_map
+                            {
+                              bframe = frames.(i);
+                              bvpn = 0x500 + i;
+                              bwritable = true;
+                            };
+                          Hcall.Pt_unmap (0x500 + i);
+                        ])
+                      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+                  in
+                  Hcall.pt_batch ops
+                done)
+          in
+          ignore (Hypervisor.run h)) );
+  ]
 
-let benchmark () =
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let parse_args () =
+  let only = ref None and json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+        only := Some v;
+        go rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        go rest
+    | a :: _ ->
+        Printf.eprintf "bench: unknown argument %s\n" a;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!only, !json)
+
+let benchmark ~only =
+  let selected =
+    match only with
+    | None -> entries
+    | Some sub -> List.filter (fun (name, _) -> contains ~sub name) entries
+  in
+  let tests =
+    Test.make_grouped ~name:"vmk" ~fmt:"%s/%s"
+      (List.map (fun (name, staged) -> Test.make ~name staged) selected)
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -344,18 +424,55 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"vmk-bench-v1\",\n  \"unit\": \"ns/run\",\n  \"results\": {\n";
+  List.iteri
+    (fun i (name, value) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
+        (match value with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
 let () =
-  let results = benchmark () in
+  let only, json = parse_args () in
+  let results = benchmark ~only in
   let clock = Measure.label Instance.monotonic_clock in
   match Hashtbl.find_opt results clock with
   | None -> print_endline "bench: no results"
   | Some tbl ->
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      let rows =
+        List.sort compare
+          (Hashtbl.fold
+             (fun name ols acc ->
+               let value =
+                 match Analyze.OLS.estimates ols with
+                 | Some (v :: _) -> Some v
+                 | Some [] | None -> None
+               in
+               (name, value) :: acc)
+             tbl [])
+      in
       Printf.printf "%-42s %16s\n" "benchmark" "ns/run";
       Printf.printf "%s\n" (String.make 60 '-');
       List.iter
-        (fun (name, ols) ->
-          match Analyze.OLS.estimates ols with
-          | Some (value :: _) -> Printf.printf "%-42s %16.0f\n" name value
-          | Some [] | None -> Printf.printf "%-42s %16s\n" name "n/a")
-        (List.sort compare rows)
+        (fun (name, value) ->
+          match value with
+          | Some v -> Printf.printf "%-42s %16.0f\n" name v
+          | None -> Printf.printf "%-42s %16s\n" name "n/a")
+        rows;
+      Option.iter (fun path -> write_json path rows) json

@@ -31,6 +31,7 @@ type profile = {
   segment_reload_cost : int;
   irq_entry_cost : int;
   irq_eoi_cost : int;
+  poll_batch_cost : int;
   world_switch_cost : int;
   ipi_cost : int;
   shootdown_ack_cost : int;
@@ -59,6 +60,7 @@ let x86_32 =
     segment_reload_cost = 25;
     irq_entry_cost = 610;
     irq_eoi_cost = 90;
+    poll_batch_cost = 140;
     world_switch_cost = 480;
     ipi_cost = 780; (* APIC vector delivery + P4 interrupt entry *)
     shootdown_ack_cost = 500;
@@ -81,6 +83,7 @@ let x86_64 =
     has_trap_gates = false; (* long mode drops the 32-bit trap-gate trick *)
     has_segmentation = false; (* flat segments; limits ignored *)
     irq_entry_cost = 480;
+    poll_batch_cost = 110;
     world_switch_cost = 420;
     ipi_cost = 640;
     shootdown_ack_cost = 420;
@@ -109,6 +112,7 @@ let arm32 =
     segment_reload_cost = 0;
     irq_entry_cost = 160;
     irq_eoi_cost = 40;
+    poll_batch_cost = 60;
     world_switch_cost = 380;
     ipi_cost = 260;
     shootdown_ack_cost = 180;
@@ -130,6 +134,7 @@ let arm64 =
     cacheline_bytes = 64;
     copy_per_byte_c100 = 70;
     irq_entry_cost = 130;
+    poll_batch_cost = 45;
     world_switch_cost = 260;
     ipi_cost = 210;
     shootdown_ack_cost = 150;
@@ -158,6 +163,7 @@ let mips64 =
     segment_reload_cost = 0;
     irq_entry_cost = 110;
     irq_eoi_cost = 30;
+    poll_batch_cost = 40;
     world_switch_cost = 240;
     ipi_cost = 220;
     shootdown_ack_cost = 160;
@@ -186,6 +192,7 @@ let ppc32 =
     segment_reload_cost = 0;
     irq_entry_cost = 190;
     irq_eoi_cost = 45;
+    poll_batch_cost = 70;
     world_switch_cost = 320;
     ipi_cost = 300;
     shootdown_ack_cost = 200;
@@ -205,6 +212,7 @@ let ppc64 =
     cacheline_bytes = 128;
     icache_lines = 512;
     copy_per_byte_c100 = 60;
+    poll_batch_cost = 65;
     world_switch_cost = 300;
     ipi_cost = 280;
     shootdown_ack_cost = 190;
@@ -233,6 +241,7 @@ let itanium =
     segment_reload_cost = 0;
     irq_entry_cost = 260;
     irq_eoi_cost = 55;
+    poll_batch_cost = 90;
     world_switch_cost = 520;
     ipi_cost = 420;
     shootdown_ack_cost = 260;
@@ -261,6 +270,7 @@ let sparc64 =
     segment_reload_cost = 0;
     irq_entry_cost = 170;
     irq_eoi_cost = 40;
+    poll_batch_cost = 55;
     world_switch_cost = 340;
     ipi_cost = 310;
     shootdown_ack_cost = 210;

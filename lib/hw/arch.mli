@@ -53,7 +53,13 @@ type profile = {
       (** Segment-limit protection — prerequisite of the same shortcut. *)
   segment_reload_cost : int;
   irq_entry_cost : int;
+      (** Interrupt delivery: vector dispatch + state save on entry. *)
   irq_eoi_cost : int;
+  poll_batch_cost : int;
+      (** One {!Nic.poll} round: ring-tail read + status-block check +
+          prefetch of up to [budget] descriptors. Paid once per batch, not
+          per packet — the interrupt-mitigation model's amortization lever
+          (contrast with paying [irq_entry_cost] per packet). *)
   world_switch_cost : int;
       (** Extra state save/restore when a VMM switches between domains. *)
   ipi_cost : int;

@@ -3,6 +3,9 @@ type t = {
   masked : bool array;
   raised : int array;
   serviced : int array;
+  coalesced : int array;
+  burst : int array;
+  mutable rr_last : int;
 }
 
 let create ~lines =
@@ -12,6 +15,9 @@ let create ~lines =
     masked = Array.make lines false;
     raised = Array.make lines 0;
     serviced = Array.make lines 0;
+    coalesced = Array.make lines 0;
+    burst = Array.make lines 0;
+    rr_last = lines - 1;
   }
 
 let lines t = Array.length t.pending
@@ -21,7 +27,9 @@ let check t n =
 
 let raise_line t n =
   check t n;
-  t.pending.(n) <- true;
+  if t.pending.(n) then t.coalesced.(n) <- t.coalesced.(n) + 1
+  else t.pending.(n) <- true;
+  t.burst.(n) <- t.burst.(n) + 1;
   t.raised.(n) <- t.raised.(n) + 1
 
 let is_pending t n =
@@ -29,10 +37,15 @@ let is_pending t n =
   t.pending.(n)
 
 let next_pending t =
-  let rec scan i =
-    if i >= lines t then None
-    else if t.pending.(i) && not t.masked.(i) then Some i
-    else scan (i + 1)
+  (* Round-robin from the line after the last one serviced, so a chatty
+     low-numbered device cannot starve high-numbered lines. *)
+  let n = lines t in
+  let start = (t.rr_last + 1) mod n in
+  let rec scan k =
+    if k >= n then None
+    else
+      let i = (start + k) mod n in
+      if t.pending.(i) && not t.masked.(i) then Some i else scan (k + 1)
   in
   scan 0
 
@@ -42,7 +55,9 @@ let ack t n =
   check t n;
   if t.pending.(n) then begin
     t.pending.(n) <- false;
-    t.serviced.(n) <- t.serviced.(n) + 1
+    t.burst.(n) <- 0;
+    t.serviced.(n) <- t.serviced.(n) + 1;
+    t.rr_last <- n
   end
 
 let mask t n =
@@ -64,3 +79,11 @@ let raised_total t n =
 let serviced_total t n =
   check t n;
   t.serviced.(n)
+
+let coalesced_total t n =
+  check t n;
+  t.coalesced.(n)
+
+let burst t n =
+  check t n;
+  t.burst.(n)

@@ -1,9 +1,16 @@
-(** Interrupt controller (PIC-style).
+(** Interrupt controller (PIC-style, round-robin arbitration).
 
     Devices raise lines; the hosting kernel polls {!next_pending} at its
     preemption points (the simulator has no true asynchrony) and
-    acknowledges lines it services. Lower line numbers have higher
-    priority, as on the 8259. *)
+    acknowledges lines it services. Arbitration is round-robin starting
+    after the last line serviced, so a chatty device cannot starve the
+    others.
+
+    The controller also supports the mask-while-pending discipline that
+    NAPI-style drivers rely on: a masked line still latches raises (and
+    counts how many coalesced onto the latch), it just never surfaces from
+    {!next_pending} until unmasked — so a driver can mask, poll the device
+    directly, and unmask without losing the edge that arrived meanwhile. *)
 
 type t
 
@@ -22,7 +29,8 @@ val is_pending : t -> int -> bool
 (** The line's pending latch is set (masked or not). *)
 
 val next_pending : t -> int option
-(** Highest-priority pending unmasked line, without acknowledging it. *)
+(** Next pending unmasked line, scanning round-robin from the line after
+    the last one acknowledged, without acknowledging it. *)
 
 val any_pending : t -> bool
 
@@ -38,3 +46,11 @@ val raised_total : t -> int -> int
 
 val serviced_total : t -> int -> int
 (** How many times the line was acknowledged. *)
+
+val coalesced_total : t -> int -> int
+(** Raises that landed on an already-pending latch (absorbed edges). *)
+
+val burst : t -> int -> int
+(** Raises since the line's latch was last cleared — the number of device
+    events one acknowledgement will cover. A kernel can forward this with
+    the interrupt message so one wake carries the whole batch. *)

@@ -22,17 +22,26 @@ let create ?(arch = Arch.default) ?(frames = 4096) ?(cpus = 1) ?seed () =
   let engine = Vmk_sim.Engine.create () in
   let irq = Irq.create ~lines:8 in
   let cpus = Array.init (max 1 cpus) (fun id -> Cpu.create ~id arch) in
+  let nic = Nic.create engine irq ~irq_line:nic_irq () in
+  let counters = Vmk_trace.Counter.create_set () in
+  (* Machine-wide itemization of NIC behaviour the drivers never see:
+     buffer-exhaustion drops belong to the overload drop budget, absorbed
+     interrupt edges to the mitigation ledger. *)
+  Nic.on_rx_drop nic (fun () ->
+      Vmk_trace.Counter.incr counters "overload.nic_drop");
+  Nic.on_coalesce nic (fun () ->
+      Vmk_trace.Counter.incr counters "mitig.irq_coalesced");
   {
     arch;
     engine;
     frames = Frame.create ~frames;
     irq;
-    nic = Nic.create engine irq ~irq_line:nic_irq ();
+    nic;
     disk = Disk.create engine irq ~irq_line:disk_irq ();
     tlb = cpus.(0).Cpu.tlb;
     icache = cpus.(0).Cpu.icache;
     cpus;
-    counters = Vmk_trace.Counter.create_set ();
+    counters;
     accounts = Vmk_trace.Accounts.create ();
     rng = Vmk_sim.Rng.create ?seed ();
     timer_on = ref false;

@@ -31,6 +31,15 @@ type t = {
   mutable tx_submitted : int;
   mutable tx_completed : int;
   mutable tx_bytes : int;
+  (* Interrupt mitigation: after raising an interrupt the NIC holds off
+     for [mitigation] cycles; completions landing inside the window
+     coalesce into one deferred raise at window end. 0 disables. *)
+  mutable mitigation : int64;
+  mutable holdoff_until : int64;
+  mutable holdoff_armed : bool;
+  mutable irq_coalesced : int;
+  mutable on_coalesce : unit -> unit;
+  mutable on_rx_drop : unit -> unit;
 }
 
 let create engine irq_ctrl ~irq_line ?(wire_delay = 2000L) () =
@@ -51,6 +60,12 @@ let create engine irq_ctrl ~irq_line ?(wire_delay = 2000L) () =
     tx_submitted = 0;
     tx_completed = 0;
     tx_bytes = 0;
+    mitigation = 0L;
+    holdoff_until = 0L;
+    holdoff_armed = false;
+    irq_coalesced = 0;
+    on_coalesce = ignore;
+    on_rx_drop = ignore;
   }
 
 let irq_line t = t.irq_line
@@ -66,15 +81,50 @@ let fault_verdict t =
       Some fault.f_mode
   | Some _ | None -> None
 
+let set_mitigation t cycles =
+  if Int64.compare cycles 0L < 0 then
+    invalid_arg "Nic.set_mitigation: negative window";
+  t.mitigation <- cycles
+
+let mitigation t = t.mitigation
+let irq_coalesced t = t.irq_coalesced
+let on_coalesce t f = t.on_coalesce <- f
+let on_rx_drop t f = t.on_rx_drop <- f
+
+(* One completion wants to interrupt the host. Outside a hold-off window:
+   raise now and open a window. Inside one: absorb the edge and make sure a
+   single deferred raise is armed for window end — guarded at fire time so
+   an already-drained device stays quiet. *)
+let rec maybe_raise_irq t =
+  let now = Vmk_sim.Engine.now t.engine in
+  if Int64.equal t.mitigation 0L then Irq.raise_line t.irq_ctrl t.irq_line
+  else if Int64.compare now t.holdoff_until >= 0 then begin
+    t.holdoff_until <- Int64.add now t.mitigation;
+    Irq.raise_line t.irq_ctrl t.irq_line
+  end
+  else begin
+    t.irq_coalesced <- t.irq_coalesced + 1;
+    t.on_coalesce ();
+    if not t.holdoff_armed then begin
+      t.holdoff_armed <- true;
+      Vmk_sim.Engine.at t.engine t.holdoff_until (fun () ->
+          t.holdoff_armed <- false;
+          if Queue.length t.rx_queue > 0 || Queue.length t.tx_queue > 0 then
+            maybe_raise_irq t)
+    end
+  end
+
 let rec deliver t ~tag ~len =
   match Queue.take_opt t.rx_buffers with
-  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | None ->
+      t.rx_dropped <- t.rx_dropped + 1;
+      t.on_rx_drop ()
   | Some frame ->
       Frame.set_tag frame tag;
       Queue.add { frame; len; tag } t.rx_queue;
       t.rx_delivered <- t.rx_delivered + 1;
       t.rx_bytes <- t.rx_bytes + len;
-      Irq.raise_line t.irq_ctrl t.irq_line
+      maybe_raise_irq t
 
 and inject_rx t ~tag ~len =
   if len < 0 || len > Addr.page_size then
@@ -94,15 +144,27 @@ and inject_rx t ~tag ~len =
 let rx_ready t = Queue.take_opt t.rx_queue
 let rx_pending t = Queue.length t.rx_queue
 
+let poll t ~budget =
+  if budget < 1 then invalid_arg "Nic.poll: budget < 1";
+  let rec take n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.rx_queue with
+      | None -> List.rev acc
+      | Some ev -> take (n - 1) (ev :: acc)
+  in
+  take budget []
+
 let submit_tx t frame ~len =
   t.tx_submitted <- t.tx_submitted + 1;
   Vmk_sim.Engine.after t.engine t.wire_delay (fun () ->
       Queue.add (frame, len) t.tx_queue;
       t.tx_completed <- t.tx_completed + 1;
       t.tx_bytes <- t.tx_bytes + len;
-      Irq.raise_line t.irq_ctrl t.irq_line)
+      maybe_raise_irq t)
 
 let tx_done t = Queue.take_opt t.tx_queue
+let tx_completions_pending t = Queue.length t.tx_queue
 let rx_injected t = t.rx_injected
 let rx_faulted t = t.rx_faulted
 let rx_delivered t = t.rx_delivered

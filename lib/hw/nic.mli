@@ -11,6 +11,17 @@
     Packet arrival is driven through {!inject_rx}, typically from
     engine-scheduled workload generators.
 
+    {b Interrupt mitigation} (E16): with {!set_mitigation} the NIC models a
+    hardware hold-off timer, the building block of NAPI-style hybrid
+    interrupt/polling. The first rx or tx completion raises the line and
+    opens a window of [mitigation] cycles; completions landing inside the
+    window coalesce into at most one deferred raise at window end (counted
+    by {!irq_coalesced} and reported through {!on_coalesce}). Drivers that
+    poll pair this with {!poll}, which drains up to [budget] rx events in
+    one call — the driver burns the arch profile's [poll_batch_cost] once
+    per batch instead of [irq_entry_cost] per packet. A window of [0L]
+    (the default) restores interrupt-per-completion behaviour exactly.
+
     Fault injection (E13): {!set_faults} installs transient windows in
     which an arriving packet may be dropped, corrupted (its content tag
     scrambled so verifying receivers notice) or duplicated. Coin flips
@@ -49,6 +60,24 @@ val set_faults : t -> fault list -> unit
 (** Install the fault windows (replacing any previous set). An arriving
     packet is judged against the first window active at arrival time. *)
 
+(** {1 Interrupt mitigation} *)
+
+val set_mitigation : t -> int64 -> unit
+(** Set the hold-off window in cycles; [0L] (default) disables mitigation.
+
+    @raise Invalid_argument on a negative window. *)
+
+val mitigation : t -> int64
+
+val irq_coalesced : t -> int
+(** Completions absorbed by an open hold-off window (no fresh raise). *)
+
+val on_coalesce : t -> (unit -> unit) -> unit
+(** Hook invoked on every absorbed completion (counter wiring). *)
+
+val on_rx_drop : t -> (unit -> unit) -> unit
+(** Hook invoked on every buffer-exhaustion rx drop (counter wiring). *)
+
 (** {1 Receive} *)
 
 val post_rx_buffer : t -> Frame.frame -> unit
@@ -68,13 +97,27 @@ val rx_ready : t -> rx_event option
 
 val rx_pending : t -> int
 
+val poll : t -> budget:int -> rx_event list
+(** Drain up to [budget] queued arrivals in one device read, oldest first
+    (empty list when the rx queue is dry). The caller is expected to burn
+    the arch profile's [poll_batch_cost] once per call — that is the whole
+    point: a batch costs one ring read, not [budget] interrupt entries.
+
+    @raise Invalid_argument if [budget < 1]. *)
+
 (** {1 Transmit} *)
 
 val submit_tx : t -> Frame.frame -> len:int -> unit
-(** Queue a frame for transmission; completes (IRQ) after the wire delay. *)
+(** Queue a frame for transmission; completes after the wire delay. The
+    completion interrupt goes through the same mitigation window as rx, so
+    tx completions landing inside an open window coalesce too. *)
 
 val tx_done : t -> (Frame.frame * int) option
 (** Pop the oldest completed transmit (frame, bytes). *)
+
+val tx_completions_pending : t -> int
+(** Completed transmits not yet reaped — a NAPI loop's "any tx work left"
+    re-enable check. *)
 
 (** {1 Statistics} *)
 

@@ -6,6 +6,11 @@ let shed_counter = "overload.shed"
 let retry_counter = "overload.retry"
 let backoff_counter = "overload.backoff_cycles"
 let queue_peak_prefix = "overload.queue_peak."
+let nic_drop_counter = "overload.nic_drop"
+let mitig_coalesced_counter = "mitig.irq_coalesced"
+let mitig_poll_rounds_counter = "mitig.poll_rounds"
+let mitig_batch_hist_prefix = "mitig.batch_hist."
+let mitig_reenable_counter = "mitig.reenable"
 
 module Token_bucket = struct
   type t = {
@@ -52,6 +57,19 @@ module Token_bucket = struct
       t.denied <- t.denied + 1;
       false
     end
+
+  (* Batch admission: one refill, then take as many of the [n] requested
+     tokens as the bucket holds. Equivalent to [n] same-cycle [admit]
+     calls, minus n-1 refill computations — the admission-cost analogue of
+     the NIC's per-batch poll cost. *)
+  let admit_n t ~now n =
+    if n < 0 then invalid_arg "Token_bucket.admit_n: negative batch";
+    refill t ~now;
+    let k = min t.tokens n in
+    t.tokens <- t.tokens - k;
+    t.admitted <- t.admitted + k;
+    t.denied <- t.denied + (n - k);
+    k
 
   let available t ~now =
     refill t ~now;
@@ -187,3 +205,12 @@ let note_queue_peak counters ~name depth =
   let key = queue_peak_prefix ^ name in
   if depth > Counter.get counters key then
     Counter.add counters key (depth - Counter.get counters key)
+
+let note_batch counters n =
+  if n > 0 then begin
+    (* Power-of-two buckets: 1, 2, 4, ... — a poll-batch size histogram
+       cheap enough to live on the hot path. *)
+    let rec bucket b = if b * 2 <= n then bucket (b * 2) else b in
+    let key = mitig_batch_hist_prefix ^ string_of_int (bucket 1) in
+    Counter.incr counters key
+  end

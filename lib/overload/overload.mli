@@ -20,13 +20,27 @@
     {- [overload.backoff_cycles] — virtual cycles spent waiting between
        retries;}
     {- [overload.queue_peak.<name>] — high-water mark of each policied
-       queue.}} *)
+       queue;}
+    {- [overload.nic_drop] — packets the NIC dropped for want of a posted
+       rx buffer (wired up by {!Vmk_hw.Machine.create}).}}
+
+    Interrupt mitigation (E16) itemizes under the ["mitig.*"] namespace:
+    [mitig.irq_coalesced] (completions absorbed by a NIC hold-off
+    window), [mitig.poll_rounds] (non-empty NAPI poll rounds),
+    [mitig.batch_hist.<2^k>] (poll-batch size histogram, power-of-two
+    buckets) and [mitig.reenable] (empty rounds that re-enabled the
+    interrupt). *)
 
 val drop_counter : string
 val shed_counter : string
 val retry_counter : string
 val backoff_counter : string
 val queue_peak_prefix : string
+val nic_drop_counter : string
+val mitig_coalesced_counter : string
+val mitig_poll_rounds_counter : string
+val mitig_batch_hist_prefix : string
+val mitig_reenable_counter : string
 
 (** Deterministic token bucket: one token refills every [period] virtual
     cycles, up to [burst]. Over any window of [w] cycles at most
@@ -41,6 +55,14 @@ module Token_bucket : sig
   val admit : t -> now:int64 -> bool
   (** Take one token at virtual time [now]; [false] = shed the work.
       [now] must not decrease across calls (virtual time never does). *)
+
+  val admit_n : t -> now:int64 -> int -> int
+  (** [admit_n t ~now n] admits as many of a batch of [n] as the bucket
+      allows after one refill, returning how many were admitted (a prefix
+      of the batch; the rest are denied). Equivalent to [n] same-cycle
+      {!admit} calls.
+
+      @raise Invalid_argument on a negative [n]. *)
 
   val available : t -> now:int64 -> int
   val admitted : t -> int
@@ -128,3 +150,8 @@ end
 val note_queue_peak : Vmk_trace.Counter.set -> name:string -> int -> unit
 (** Record a queue-depth observation under [overload.queue_peak.<name>]
     (the counter keeps the maximum seen). *)
+
+val note_batch : Vmk_trace.Counter.set -> int -> unit
+(** Record one poll batch of the given size under
+    [mitig.batch_hist.<2^k>] where [2^k] is the largest power of two not
+    exceeding the size. Sizes [< 1] are ignored. *)

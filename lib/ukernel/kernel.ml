@@ -600,6 +600,55 @@ let handle_syscall k (tcb : tcb) call =
               | Some h when h = tcb.tid -> Hashtbl.remove k.irq_handlers line
               | Some _ | None -> ());
               ready k tcb R_unit
+          | Irq_mask line ->
+              if line < 0 || line >= Irq.lines k.mach.Machine.irq then
+                ready k tcb (R_error (Bad_argument "irq-line"))
+              else if Hashtbl.find_opt k.irq_handlers line <> Some tcb.tid then
+                ready k tcb (R_error Not_permitted)
+              else begin
+                Irq.mask k.mach.Machine.irq line;
+                ready k tcb R_unit
+              end
+          | Irq_unmask line ->
+              if line < 0 || line >= Irq.lines k.mach.Machine.irq then
+                ready k tcb (R_error (Bad_argument "irq-line"))
+              else if Hashtbl.find_opt k.irq_handlers line <> Some tcb.tid then
+                ready k tcb (R_error Not_permitted)
+              else begin
+                (* Batched acknowledgement: one ack covers every edge that
+                   coalesced onto the latch while the handler polled. *)
+                Irq.ack k.mach.Machine.irq line;
+                Irq.unmask k.mach.Machine.irq line;
+                ready k tcb R_unit
+              end
+          | Send_batch msgs ->
+              (* Deferred-notify: one kernel entry, no blocking. Each
+                 message lands iff its destination is already receptive;
+                 the rest are the caller's problem (it retries on the next
+                 flush). Transfer cost is still paid per delivery — the
+                 saving is the per-message syscall overhead. *)
+              let delivered = ref 0 in
+              List.iter
+                (fun (dst_tid, m) ->
+                  match find_alive k dst_tid with
+                  | None -> ()
+                  | Some dst -> (
+                      match dst.state with
+                      | Blocked_call waiting_on when waiting_on = tcb.tid ->
+                          deliver_reply k ~src:tcb ~dst m;
+                          incr delivered
+                      | Blocked_recv filter when filter_matches filter tcb.tid
+                        ->
+                          do_transfer k ~src:tcb ~dst ~window:`Identity m;
+                          ready k dst (R_msg (tcb.tid, m));
+                          incr delivered
+                      | Ready | Running | Blocked_send _ | Blocked_recv _
+                      | Blocked_call _ | Sleeping | Dead ->
+                          ()))
+                msgs;
+              Counter.add k.mach.Machine.counters "uk.ipc.batch_send"
+                !delivered;
+              ready k tcb (R_tid !delivered)
           | Set_pager pager ->
               tcb.pager <- Some pager;
               ready k tcb R_unit
@@ -637,7 +686,11 @@ let start_fiber k (tcb : tcb) body =
 
 (* --- Interrupt delivery --- *)
 
-let irq_message line = msg Proto.interrupt ~items:[ Words [| line |] ]
+(* The second word rides free (within Costs.free_words) and carries the
+   number of device events behind this single wake — the deferred-notify
+   count a polling handler can trust without re-reading the device. *)
+let irq_message ?(burst = 1) line =
+  msg Proto.interrupt ~items:[ Words [| line; burst |] ]
 
 let deliver_irqs k =
   let irq = k.mach.Machine.irq in
@@ -650,6 +703,7 @@ let deliver_irqs k =
         | Some handler -> begin
             match handler.state with
             | Blocked_recv filter when filter_matches filter (irq_tid line) ->
+                let burst = max 1 (Irq.burst irq line) in
                 Irq.ack irq line;
                 let arch = k.mach.Machine.arch in
                 kcharged k (fun () ->
@@ -657,7 +711,7 @@ let deliver_irqs k =
                       (arch.Arch.irq_entry_cost + Costs.irq_to_ipc
                      + arch.Arch.irq_eoi_cost));
                 Counter.incr k.mach.Machine.counters "uk.irq.delivered";
-                ready k handler (R_msg (irq_tid line, irq_message line))
+                ready k handler (R_msg (irq_tid line, irq_message ~burst line))
             | Ready | Running | Blocked_send _ | Blocked_recv _
             | Blocked_call _ | Sleeping | Dead ->
                 ()

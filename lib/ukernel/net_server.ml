@@ -1,6 +1,7 @@
 module Machine = Vmk_hw.Machine
 module Frame = Vmk_hw.Frame
 module Nic = Vmk_hw.Nic
+module Arch = Vmk_hw.Arch
 module Engine = Vmk_sim.Engine
 module Counter = Vmk_trace.Counter
 module Overload = Vmk_overload.Overload
@@ -40,9 +41,52 @@ let flush_rx st =
   in
   go ()
 
+(* Shed before the expensive receive work (livelock defense). *)
+let shed_rx st (ev : Nic.rx_event) =
+  let counters = st.mach.Machine.counters in
+  Sysif.burn shed_work;
+  Counter.incr counters "drv.net.rx_shed";
+  Counter.incr counters Overload.shed_counter;
+  Nic.post_rx_buffer st.mach.Machine.nic ev.Nic.frame
+
+(* Record the packet and immediately recycle the buffer: the driver
+   touches descriptor rings, costing a few cycles. *)
+let accept_rx st (ev : Nic.rx_event) =
+  let counters = st.mach.Machine.counters in
+  Sysif.burn 900;
+  (match
+     Overload.Bounded_queue.push st.rx_packets
+       ~now:(Engine.now st.mach.Machine.engine)
+       (ev.Nic.tag, ev.Nic.len)
+   with
+  | Overload.Bounded_queue.Accepted -> ()
+  | Overload.Bounded_queue.Rejected ->
+      Counter.incr counters "drv.net.rx_drop";
+      Counter.incr counters Overload.drop_counter
+  | Overload.Bounded_queue.Displaced _ ->
+      (* The newest packet is kept; the oldest queued one paid
+         the price. *)
+      Counter.incr counters "drv.net.rx_drop";
+      Counter.incr counters Overload.drop_counter
+  | Overload.Bounded_queue.Retry_until _ ->
+      (* Blocking is meaningless in interrupt context; treat as
+         a rejection. *)
+      Counter.incr counters "drv.net.rx_drop";
+      Counter.incr counters Overload.drop_counter);
+  Overload.note_queue_peak counters ~name:"net_rx"
+    (Overload.Bounded_queue.length st.rx_packets);
+  Nic.post_rx_buffer st.mach.Machine.nic ev.Nic.frame
+
+let rec drain_tx st =
+  match Nic.tx_done st.mach.Machine.nic with
+  | Some (frame, _len) ->
+      Sysif.burn 700;
+      Queue.add frame st.free_tx;
+      drain_tx st
+  | None -> ()
+
 let handle_irq st =
   let nic = st.mach.Machine.nic in
-  let counters = st.mach.Machine.counters in
   let rec drain_rx () =
     match Nic.rx_ready nic with
     | Some ev ->
@@ -53,53 +97,93 @@ let handle_irq st =
               Overload.Token_bucket.admit bucket
                 ~now:(Engine.now st.mach.Machine.engine)
         in
-        if not admitted then begin
-          (* Shed before the expensive receive work (livelock defense). *)
-          Sysif.burn shed_work;
-          Counter.incr counters "drv.net.rx_shed";
-          Counter.incr counters Overload.shed_counter
-        end
-        else begin
-          (* Record the packet and immediately recycle the buffer: the
-             driver touches descriptor rings, costing a few cycles. *)
-          Sysif.burn 900;
-          (match
-             Overload.Bounded_queue.push st.rx_packets
-               ~now:(Engine.now st.mach.Machine.engine)
-               (ev.Nic.tag, ev.Nic.len)
-           with
-          | Overload.Bounded_queue.Accepted -> ()
-          | Overload.Bounded_queue.Rejected ->
-              Counter.incr counters "drv.net.rx_drop";
-              Counter.incr counters Overload.drop_counter
-          | Overload.Bounded_queue.Displaced _ ->
-              (* The newest packet is kept; the oldest queued one paid
-                 the price. *)
-              Counter.incr counters "drv.net.rx_drop";
-              Counter.incr counters Overload.drop_counter
-          | Overload.Bounded_queue.Retry_until _ ->
-              (* Blocking is meaningless in interrupt context; treat as
-                 a rejection. *)
-              Counter.incr counters "drv.net.rx_drop";
-              Counter.incr counters Overload.drop_counter);
-          Overload.note_queue_peak counters ~name:"net_rx"
-            (Overload.Bounded_queue.length st.rx_packets)
-        end;
-        Nic.post_rx_buffer nic ev.Nic.frame;
+        if admitted then accept_rx st ev else shed_rx st ev;
         drain_rx ()
     | None -> ()
   in
-  let rec drain_tx () =
-    match Nic.tx_done nic with
-    | Some (frame, _len) ->
-        Sysif.burn 700;
-        Queue.add frame st.free_tx;
-        drain_tx ()
-    | None -> ()
-  in
   drain_rx ();
-  drain_tx ();
+  drain_tx st;
   flush_rx st
+
+(* Batched flush: pair every queued packet with a waiting client and
+   deliver the whole set through one Send_batch kernel entry — one
+   syscall overhead however many replies go out. The clients are
+   Call-blocked on us, so every message in the batch is receptive. *)
+let flush_rx_batched st =
+  let batch = ref [] in
+  while
+    (not (Overload.Bounded_queue.is_empty st.rx_packets))
+    && not (Queue.is_empty st.rx_waiters)
+  do
+    let tag, len = Option.get (Overload.Bounded_queue.pop st.rx_packets) in
+    let client = Queue.take st.rx_waiters in
+    batch :=
+      (client, Sysif.msg Proto.ok ~items:[ Sysif.Str { bytes = len; tag } ])
+      :: !batch
+  done;
+  match !batch with
+  | [] -> ()
+  | b -> ignore (Sysif.send_batch (List.rev b))
+
+(* One poll round: drain up to [budget] packets at one poll_batch_cost,
+   admit them as a batch, queue + repost each. Returns how many the
+   round produced (0 = empty round). *)
+let poll_round st ~budget =
+  let counters = st.mach.Machine.counters in
+  match Nic.poll st.mach.Machine.nic ~budget with
+  | [] -> 0
+  | evs ->
+      Sysif.burn st.mach.Machine.arch.Arch.poll_batch_cost;
+      Counter.incr counters Overload.mitig_poll_rounds_counter;
+      let n = List.length evs in
+      Overload.note_batch counters n;
+      let k =
+        match st.admit with
+        | None -> n
+        | Some bucket ->
+            Overload.Token_bucket.admit_n bucket
+              ~now:(Engine.now st.mach.Machine.engine)
+              n
+      in
+      List.iteri
+        (fun i ev -> if i < k then accept_rx st ev else shed_rx st ev)
+        evs;
+      drain_tx st;
+      flush_rx_batched st;
+      n
+
+(* NAPI service: mask the line on the wake that got us here, poll until a
+   round comes back empty, then one unmask (which also acknowledges the
+   whole coalesced burst) re-arms interrupt delivery. The post-unmask
+   recheck closes the poll/unmask race. *)
+let napi_service st ~budget =
+  let nic = st.mach.Machine.nic in
+  let line = Nic.irq_line nic in
+  let counters = st.mach.Machine.counters in
+  Sysif.irq_mask line;
+  let rec rounds () =
+    if poll_round st ~budget > 0 then rounds ()
+    else begin
+      drain_tx st;
+      flush_rx_batched st;
+      Sysif.irq_unmask line;
+      Counter.incr counters Overload.mitig_reenable_counter;
+      if Nic.rx_pending nic > 0 || Nic.tx_completions_pending nic > 0
+      then begin
+        Sysif.irq_mask line;
+        rounds ()
+      end
+    end
+  in
+  rounds ()
+
+(* Polling-only service (the line stays masked forever): spin poll
+   rounds until the device is dry, then pick up any tx leftovers. *)
+let poll_service st ~budget =
+  let rec rounds () = if poll_round st ~budget > 0 then rounds () in
+  rounds ();
+  drain_tx st;
+  flush_rx_batched st
 
 let handle_client st client (m : Sysif.msg) =
   if m.Sysif.label = Proto.ping then reply_safely client (Sysif.msg Proto.ok)
@@ -125,7 +209,7 @@ let handle_client st client (m : Sysif.msg) =
   else reply_safely client (Sysif.msg Proto.error)
 
 let body mach ?(rx_buffers = 16) ?admit ?rx_capacity
-    ?(rx_policy = Overload.Bounded_queue.Drop_oldest) () =
+    ?(rx_policy = Overload.Bounded_queue.Drop_oldest) ?napi ?poll () =
   let st =
     {
       mach;
@@ -151,9 +235,33 @@ let body mach ?(rx_buffers = 16) ?admit ?rx_capacity
       st.free_tx
   done;
   Sysif.irq_attach Machine.nic_irq;
-  let rec loop () =
-    let src, m = Sysif.recv Sysif.Any in
-    if Sysif.is_irq_tid src then handle_irq st else handle_client st src m;
-    loop ()
-  in
-  loop ()
+  match poll with
+  | Some period ->
+      (* Polling-only: the line never delivers — service the NIC on the
+         receive timeout instead. *)
+      let budget = Option.value napi ~default:16 in
+      Sysif.irq_mask Machine.nic_irq;
+      let rec loop () =
+        (match Sysif.recv ~timeout:period Sysif.Any with
+        | src, m ->
+            if Sysif.is_irq_tid src then handle_irq st
+            else handle_client st src m;
+            poll_service st ~budget
+        | exception Sysif.Ipc_error Sysif.Timeout ->
+            Counter.incr mach.Machine.counters "drv.net.poll_ticks";
+            poll_service st ~budget);
+        loop ()
+      in
+      loop ()
+  | None ->
+      let rec loop () =
+        let src, m = Sysif.recv Sysif.Any in
+        if Sysif.is_irq_tid src then begin
+          match napi with
+          | Some budget -> napi_service st ~budget
+          | None -> handle_irq st
+        end
+        else handle_client st src m;
+        loop ()
+      in
+      loop ()

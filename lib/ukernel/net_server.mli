@@ -15,6 +15,8 @@ val body :
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
   ?rx_capacity:int ->
   ?rx_policy:Vmk_overload.Overload.Bounded_queue.policy ->
+  ?napi:int ->
+  ?poll:int64 ->
   unit ->
   unit
 (** Server loop; spawn with {!Kernel.spawn}. Posts [rx_buffers] (default
@@ -27,7 +29,17 @@ val body :
     the naive configuration that livelocks); overflow follows
     [rx_policy] (default drop-oldest; counters ["drv.net.rx_drop"],
     ["overload.drop"]). A [net_send] finding no free transmit buffer
-    answers {!Proto.busy} (retryable) rather than {!Proto.error}. *)
+    answers {!Proto.busy} (retryable) rather than {!Proto.error}.
+
+    Interrupt mitigation (E16): [napi] switches the interrupt path to
+    NAPI-style hybrid service — the first IRQ-IPC masks the line
+    ({!Sysif.irq_mask}), poll rounds each drain up to [napi] packets at
+    one [poll_batch_cost] with batch admission
+    ({!Vmk_overload.Overload.Token_bucket.admit_n}) and one
+    {!Sysif.send_batch} reply flush; an empty round unmasks (one ack for
+    the whole coalesced burst) and re-arms. [poll] is polling-only mode:
+    the line is masked for good and the NIC is serviced every [poll]
+    cycles off the receive timeout (counter ["drv.net.poll_ticks"]). *)
 
 val account : string
 (** Cycle account the server's work should be charged to: ["drv.net"].

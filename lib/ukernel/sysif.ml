@@ -71,6 +71,9 @@ type call =
   | Unmap of fpage
   | Irq_attach of int
   | Irq_detach of int
+  | Irq_mask of int
+  | Irq_unmask of int
+  | Send_batch of (tid * msg) list
   | Set_pager of tid
   | Kill_thread of tid
 
@@ -133,6 +136,16 @@ let touch ~addr ~len ~write = expect_unit (invoke (Touch { addr; len; write }))
 let unmap fp = expect_unit (invoke (Unmap fp))
 let irq_attach line = expect_unit (invoke (Irq_attach line))
 let irq_detach line = expect_unit (invoke (Irq_detach line))
+let irq_mask line = expect_unit (invoke (Irq_mask line))
+let irq_unmask line = expect_unit (invoke (Irq_unmask line))
+
+(* Deferred-notify: one kernel entry delivers every currently-receptive
+   message of the batch; returns how many were delivered. *)
+let send_batch msgs =
+  match invoke (Send_batch msgs) with
+  | R_tid n -> n
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
 let set_pager tid = expect_unit (invoke (Set_pager tid))
 let kill_thread tid = expect_unit (invoke (Kill_thread tid))
 

@@ -85,6 +85,20 @@ type call =
   | Unmap of fpage  (** Recursively revoke the pages from all mappees. *)
   | Irq_attach of int  (** Become handler for interrupt line n. *)
   | Irq_detach of int
+  | Irq_mask of int
+      (** Handler-only: hold the line's interrupt→IPC conversion while
+          polling the device directly (NAPI discipline, E16). *)
+  | Irq_unmask of int
+      (** Handler-only: acknowledge the latch — one ack covers every
+          edge that coalesced while masked — and re-enable delivery. *)
+  | Send_batch of (tid * msg) list
+      (** Deferred-notify (E16): one kernel entry attempts every send in
+          the batch without blocking — each message is delivered iff its
+          destination is already receptive (waiting in [Recv] on us, or
+          [Call]-blocked on us) and silently skipped otherwise. Replies
+          [R_tid n] with the number delivered. One syscall overhead is
+          paid for the whole batch; each delivery still pays transfer
+          cost. *)
   | Set_pager of tid
   | Kill_thread of tid
       (** Unwind-kill the target: its pending operation fails with
@@ -123,6 +137,12 @@ val touch : addr:int -> len:int -> write:bool -> unit
 val unmap : fpage -> unit
 val irq_attach : int -> unit
 val irq_detach : int -> unit
+val irq_mask : int -> unit
+val irq_unmask : int -> unit
+
+val send_batch : (tid * msg) list -> int
+(** Returns how many of the batch were delivered (see {!Send_batch}). *)
+
 val set_pager : tid -> unit
 val kill_thread : tid -> unit
 

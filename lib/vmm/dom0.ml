@@ -3,8 +3,8 @@ module Disk = Vmk_hw.Disk
 
 let name = "dom0"
 
-let body mach ?connect_timeout ?generation ?net_admit ?(net = []) ?(blk = [])
-    () =
+let body mach ?connect_timeout ?generation ?net_admit ?net_napi ?net_poll
+    ?(net = []) ?(blk = []) () =
   let mux = Evt_mux.create () in
   (* A channel whose frontend never shows up used to hang Dom0 in the
      handshake forever; with a timeout it is logged and dropped, and
@@ -21,7 +21,7 @@ let body mach ?connect_timeout ?generation ?net_admit ?(net = []) ?(blk = [])
       (fun chan ->
         match
           Netback.connect_opt ?timeout:connect_timeout ?generation
-            ?admit:net_admit chan mach ()
+            ?admit:net_admit ?napi:net_napi chan mach ()
         with
         | Some back -> Some back
         | None -> dropped "net" chan.Net_channel.key)
@@ -78,7 +78,12 @@ let body mach ?connect_timeout ?generation ?net_admit ?(net = []) ?(blk = [])
         drain_tx ();
         List.iter Netback.flush backs
   in
-  if net <> [] then begin
+  (* Polling-only mode: never bind the NIC interrupt — mask the line so
+     the hypervisor's IRQ router has nothing to charge — and service the
+     device on the serve loop's block timeout instead. *)
+  let polling = net <> [] && net_poll <> None in
+  if polling then Vmk_hw.Irq.mask mach.Machine.irq Machine.nic_irq
+  else if net <> [] then begin
     let nic_port = Hcall.irq_bind Machine.nic_irq in
     Evt_mux.on mux nic_port (fun () ->
         Vmk_trace.Counter.incr mach.Machine.counters "dom0.nic_events";
@@ -100,13 +105,18 @@ let body mach ?connect_timeout ?generation ?net_admit ?(net = []) ?(blk = [])
   List.iter Blkback.handle_event blkbacks;
   handle_disk ();
   let rec serve () =
-    (match Hcall.block () with
+    (match Hcall.block ?timeout:net_poll () with
     | Hcall.Events ports ->
         Vmk_trace.Counter.add mach.Machine.counters "dom0.wakeups" 1;
         Vmk_trace.Counter.add mach.Machine.counters "dom0.events"
           (List.length ports);
-        Evt_mux.dispatch mux ports
-    | Hcall.Timed_out -> ());
+        Evt_mux.dispatch mux ports;
+        if polling then handle_nic_all ()
+    | Hcall.Timed_out ->
+        if polling then begin
+          Vmk_trace.Counter.incr mach.Machine.counters "dom0.poll_ticks";
+          handle_nic_all ()
+        end);
     serve ()
   in
   serve ()

@@ -15,6 +15,8 @@ val body :
   ?connect_timeout:int64 ->
   ?generation:int ->
   ?net_admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?net_napi:int ->
+  ?net_poll:int64 ->
   ?net:Net_channel.t list ->
   ?blk:Blk_channel.t list ->
   unit ->
@@ -35,4 +37,13 @@ val body :
 
     [net_admit] installs a single token-bucket admission gate shared by
     every net backend — one gate for the physical NIC. Packets beyond
-    the rate are shed before delivery work (E15's livelock defense). *)
+    the rate are shed before delivery work (E15's livelock defense).
+
+    [net_napi] puts every net backend in NAPI-style hybrid
+    interrupt/polling mode with the given poll budget (see
+    {!Netback.connect}). [net_poll] is polling-only mode (E16's other
+    extreme): the NIC interrupt is never bound — the line stays masked,
+    so the hypervisor routes nothing — and Dom0 services the NIC every
+    [net_poll] cycles off its block timeout (counter
+    ["dom0.poll_ticks"]), trading idle-time poll work for zero per-packet
+    interrupt cost. *)

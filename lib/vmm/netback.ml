@@ -28,6 +28,8 @@ type t = {
   nic_target : int;
   admit : Overload.Token_bucket.t option;
       (** Rx admission gate; [None] admits everything (naive). *)
+  napi : int option;
+      (** NAPI poll budget; [None] keeps the interrupt-per-packet path. *)
   mutable rx_delivered : int;
   mutable tx_forwarded : int;
   mutable dropped_nobuf : int;
@@ -61,8 +63,8 @@ let pump_frontend_posts t =
 
 (* XenBus handshake; see {!Blkback.connect_opt} for the generation
    scheme shared by both backends. *)
-let connect_opt ?timeout ?(generation = 0) ?admit chan mach ?(nic_buffers = 16)
-    () =
+let connect_opt ?timeout ?(generation = 0) ?admit ?napi chan mach
+    ?(nic_buffers = 16) () =
   let key = chan.Net_channel.key in
   let sub path =
     if generation = 0 then key ^ "/" ^ path
@@ -98,6 +100,7 @@ let connect_opt ?timeout ?(generation = 0) ?admit chan mach ?(nic_buffers = 16)
                   tx_pending = Hashtbl.create 32;
                   nic_target = nic_buffers;
                   admit;
+                  napi;
                   rx_delivered = 0;
                   tx_forwarded = 0;
                   dropped_nobuf = 0;
@@ -120,8 +123,8 @@ let connect_opt ?timeout ?(generation = 0) ?admit chan mach ?(nic_buffers = 16)
               Some t
           | exception Hcall.Hcall_error _ -> None))
 
-let connect ?admit chan mach ?nic_buffers () =
-  Option.get (connect_opt ?admit chan mach ?nic_buffers ())
+let connect ?admit ?napi chan mach ?nic_buffers () =
+  Option.get (connect_opt ?admit ?napi chan mach ?nic_buffers ())
 
 let port t = t.my_port
 let frontend t = t.front
@@ -224,6 +227,27 @@ let deliver_copy t (ev : Nic.rx_event) =
             false
       end
 
+(* Shed at the admission gate, before the expensive per-packet work —
+   the receive-livelock defense. *)
+let shed_one t (ev : Nic.rx_event) =
+  Hcall.burn shed_work;
+  t.rx_shed <- t.rx_shed + 1;
+  Counter.incr t.mach.Machine.counters "netback.rx_shed";
+  Counter.incr t.mach.Machine.counters Overload.shed_counter;
+  Queue.add ev.Nic.frame t.pool
+
+let deliver_admitted t (ev : Nic.rx_event) =
+  pump_frontend_posts t;
+  Hcall.burn per_packet_work;
+  Counter.incr t.mach.Machine.counters "netback.rx_packets";
+  Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
+  let ok =
+    match t.chan.Net_channel.mode with
+    | Net_channel.Flip -> deliver_flip t ev
+    | Net_channel.Copy -> deliver_copy t ev
+  in
+  if ok then t.dirty <- true
+
 let deliver_rx t (ev : Nic.rx_event) =
   let shed =
     match t.admit with
@@ -233,27 +257,23 @@ let deliver_rx t (ev : Nic.rx_event) =
           (Overload.Token_bucket.admit bucket
              ~now:(Engine.now t.mach.Machine.engine))
   in
-  if shed then begin
-    (* Shed at the admission gate, before the expensive per-packet work —
-       the receive-livelock defense. *)
-    Hcall.burn shed_work;
-    t.rx_shed <- t.rx_shed + 1;
-    Counter.incr t.mach.Machine.counters "netback.rx_shed";
-    Counter.incr t.mach.Machine.counters Overload.shed_counter;
-    Queue.add ev.Nic.frame t.pool
-  end
-  else begin
-    pump_frontend_posts t;
-    Hcall.burn per_packet_work;
-    Counter.incr t.mach.Machine.counters "netback.rx_packets";
-    Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
-    let ok =
-      match t.chan.Net_channel.mode with
-      | Net_channel.Flip -> deliver_flip t ev
-      | Net_channel.Copy -> deliver_copy t ev
-    in
-    if ok then t.dirty <- true
-  end
+  if shed then shed_one t ev else deliver_admitted t ev
+
+(* Batch admission: one bucket refill covers the whole poll batch, the
+   admitted prefix is delivered, the tail is shed. *)
+let deliver_batch t evs =
+  let n = List.length evs in
+  let k =
+    match t.admit with
+    | None -> n
+    | Some bucket ->
+        Overload.Token_bucket.admit_n bucket
+          ~now:(Engine.now t.mach.Machine.engine)
+          n
+  in
+  List.iteri
+    (fun i ev -> if i < k then deliver_admitted t ev else shed_one t ev)
+    evs
 
 let complete_tx t (frame : Frame.frame) =
   match Hashtbl.find_opt t.tx_pending frame.Frame.index with
@@ -279,25 +299,66 @@ let flush t =
     notify t
   end
 
-let handle_nic t =
+let rec drain_tx_done t =
+  match Nic.tx_done t.mach.Machine.nic with
+  | Some (frame, _len) ->
+      ignore (complete_tx t frame);
+      drain_tx_done t
+  | None -> ()
+
+(* NAPI service: the IRQ that got us here masked the line (conceptually —
+   we do it on entry, which is equivalent since the line stays masked for
+   the whole loop). Each round drains up to [budget] packets at one
+   poll_batch_cost, delivers them as one batch and sends at most one
+   event-channel notify (the [flush]); the line is acknowledged and
+   re-enabled only when a round comes back empty, with a post-unmask
+   recheck closing the poll/unmask race. *)
+let napi_service t ~budget =
+  let mach = t.mach in
+  let nic = mach.Machine.nic in
+  let line = Nic.irq_line nic in
+  let counters = mach.Machine.counters in
+  Vmk_hw.Irq.mask mach.Machine.irq line;
   pump_frontend_posts t;
-  let rec drain_rx () =
-    match Nic.rx_ready t.mach.Machine.nic with
-    | Some ev ->
-        deliver_rx t ev;
-        drain_rx ()
-    | None -> ()
+  let rec round () =
+    match Nic.poll nic ~budget with
+    | [] ->
+        drain_tx_done t;
+        flush t;
+        Vmk_hw.Irq.ack mach.Machine.irq line;
+        Vmk_hw.Irq.unmask mach.Machine.irq line;
+        Counter.incr counters Overload.mitig_reenable_counter;
+        if Nic.rx_pending nic > 0 || Nic.tx_completions_pending nic > 0
+        then begin
+          Vmk_hw.Irq.mask mach.Machine.irq line;
+          round ()
+        end
+    | evs ->
+        Hcall.burn mach.Machine.arch.Arch.poll_batch_cost;
+        Counter.incr counters Overload.mitig_poll_rounds_counter;
+        Overload.note_batch counters (List.length evs);
+        deliver_batch t evs;
+        drain_tx_done t;
+        flush t;
+        round ()
   in
-  let rec drain_tx_done () =
-    match Nic.tx_done t.mach.Machine.nic with
-    | Some (frame, _len) ->
-        ignore (complete_tx t frame);
-        drain_tx_done ()
-    | None -> ()
-  in
-  drain_rx ();
-  drain_tx_done ();
-  flush t
+  round ()
+
+let handle_nic t =
+  match t.napi with
+  | Some budget -> napi_service t ~budget
+  | None ->
+      pump_frontend_posts t;
+      let rec drain_rx () =
+        match Nic.rx_ready t.mach.Machine.nic with
+        | Some ev ->
+            deliver_rx t ev;
+            drain_rx ()
+        | None -> ()
+      in
+      drain_rx ();
+      drain_tx_done t;
+      flush t
 
 let rx_delivered t = t.rx_delivered
 let tx_forwarded t = t.tx_forwarded

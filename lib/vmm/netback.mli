@@ -14,6 +14,7 @@ type t
 
 val connect :
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?napi:int ->
   Net_channel.t ->
   Vmk_hw.Machine.t ->
   ?nic_buffers:int ->
@@ -24,12 +25,20 @@ val connect :
     buffer posts and stocks the NIC with [nic_buffers] receive buffers
     (default 16). [admit] installs a token-bucket admission gate on the
     receive path: packets beyond the rate are shed cheaply before the
-    per-packet delivery work — the receive-livelock defense (E15). *)
+    per-packet delivery work — the receive-livelock defense (E15).
+
+    [napi] switches {!handle_nic} to NAPI-style hybrid service (E16): the
+    first interrupt masks the NIC line, then poll rounds each drain up to
+    [napi] packets at one [poll_batch_cost], admit them as one batch
+    ({!Vmk_overload.Overload.Token_bucket.admit_n}) and push at most one
+    event-channel notify per batch; the line is acknowledged and
+    re-enabled only when a round comes back empty. *)
 
 val connect_opt :
   ?timeout:int64 ->
   ?generation:int ->
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?napi:int ->
   Net_channel.t ->
   Vmk_hw.Machine.t ->
   ?nic_buffers:int ->
@@ -50,7 +59,10 @@ val handle_nic : t -> unit
 (** Drain the NIC assuming this is the only backend: deliver received
     packets to the frontend (flip or copy), complete transmissions,
     restock NIC buffers. With several backends, {!Dom0} drains the NIC
-    itself and routes through {!deliver_rx}/{!complete_tx}/{!flush}. *)
+    itself and routes through {!deliver_rx}/{!complete_tx}/{!flush}
+    (the demux path stays on per-packet interrupts). In NAPI mode
+    ([napi] at connect) this is the hybrid poll loop described at
+    {!connect}. *)
 
 val demux_key : t -> int
 (** The frontend's demux key: packets tagged [key·10⁶ + seq] are its. *)

@@ -28,8 +28,11 @@ val port : t -> Hcall.port
     {!Hcall.block} results). *)
 
 val pump : t -> unit
-(** Drain ring responses: complete transmits, move received packets into
-    the local queue, replenish backend buffers. Call after every event. *)
+(** Drain ring responses in one batch: complete transmits, move received
+    packets into the local queue, replenish backend buffers — then at most
+    {e one} notify back to the backend, however many responses were
+    reaped. One event from a NAPI-batched backend (E16) is thus answered
+    with one pump, not a notify storm. Call after every event. *)
 
 val send : t -> len:int -> tag:int -> bool
 (** Queue one packet for transmission; [false] when the TX ring is full

@@ -24,6 +24,10 @@ type config = {
   packet_len : int;
   period : int64;  (** Arrival period — E14 keeps it saturating. *)
   app_cycles : int;  (** Per-packet application work in the guest. *)
+  coalesce : int;
+      (** Interrupt-mitigation factor (E16): 1 = one interrupt entry per
+          packet; [n] charges the full entry to every n-th packet only,
+          the rest arriving under the hold-off window at poll cost. *)
 }
 
 type result = {

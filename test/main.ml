@@ -13,6 +13,7 @@ let () =
       ("faults", Test_faults.suite);
       ("overload", Test_overload.suite);
       ("smp", Test_smp.suite);
+      ("mitig", Test_mitig.suite);
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("arch-matrix", Test_arch_matrix.suite);
