@@ -209,6 +209,27 @@ let saturated_ring_push pushes () =
     ignore (Vmk_vmm.Ring.push_request ring i)
   done
 
+(* E17: the virtual switch's forwarding hot path at 2/4/8 attached
+   guests — pairwise flows over pre-learned stations, pop after each
+   forward so the port queues stay shallow (steady state, flow-cache
+   hits dominating). *)
+let switch_forward guests packets () =
+  let module Vnet = Vmk_vnet.Vnet in
+  let s = Vnet.Switch.create () in
+  let mt = Vnet.Switch.mac_table s in
+  for id = 1 to guests do
+    ignore (Vnet.Switch.add_port s ~id);
+    Vnet.Mac_table.learn mt ~now:0L ~mac:id ~port:id
+  done;
+  for i = 0 to packets - 1 do
+    let src = (i mod guests) + 1 in
+    let dst = (src mod guests) + 1 in
+    ignore
+      (Vnet.Switch.forward s ~now:(Int64.of_int i) ~in_port:src
+         { Vnet.src; dst; len = 512; tag = (dst * 1_000_000) + (src * 10_000) });
+    ignore (Vnet.Switch.pop s ~port:dst)
+  done
+
 (* E16: NIC drain at a given poll-batch size. [batch = 1] is the legacy
    per-packet path (one IRQ, one rx_ready per packet); larger batches
    run the NAPI shape — mask, poll rounds of [batch], unmask — under a
@@ -343,6 +364,15 @@ let entries =
     ("e16_nic_drain_batch1_x96", Staged.stage (nic_drain ~batch:1 96));
     ("e16_nic_drain_batch8_x96", Staged.stage (nic_drain ~batch:8 96));
     ("e16_nic_drain_batch32_x96", Staged.stage (nic_drain ~batch:32 96));
+    ("e17_vnet_switch_fwd_2g_x200", Staged.stage (switch_forward 2 200));
+    ("e17_vnet_switch_fwd_4g_x200", Staged.stage (switch_forward 4 200));
+    ("e17_vnet_switch_fwd_8g_x200", Staged.stage (switch_forward 8 200));
+    ( "e17_pairwise_vmm_2g_x6",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e17.pairwise ~stack:Vmk_core.Exp_e17.Vmm ~guests:2 ~count:6)) );
+    ( "e17_pairwise_uk_2g_x6",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e17.pairwise ~stack:Vmk_core.Exp_e17.Uk ~guests:2 ~count:6)) );
     ( "a5_contended_io_boosted",
       Staged.stage (fun () ->
           ignore

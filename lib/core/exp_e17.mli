@@ -1,0 +1,30 @@
+(** E17: the inter-guest communication fabric — N mini-OS instances
+    exchanging vnet-addressed packets through the Dom0 software bridge
+    (every packet crosses Dom0 twice) vs L4-style direct guest-to-guest
+    IPC channels (the net server only brokers connection setup),
+    measuring fabric cycles, privileged transitions and middleman
+    touches per packet, plus the flow-cache sweep, weighted fair-share
+    and ECN satellites, the E14 storm composition and bit-for-bit
+    replay. *)
+
+val experiment : Experiment.t
+
+(** {1 Test hooks}
+
+    The replay test drives single runs directly and compares their
+    fingerprints bit-for-bit. *)
+
+type stack = Vmm | Uk
+
+type fingerprint
+(** Wall time, sent count, arrivals, counters and accounts of one run;
+    structural equality is bit-for-bit reproducibility. *)
+
+type run
+
+val pairwise : stack:stack -> guests:int -> count:int -> run
+(** One pairwise run: [guests/2] unidirectional flows of [count]
+    packets each (odd ports send to port+1). *)
+
+val fp : run -> fingerprint
+val received : run -> int

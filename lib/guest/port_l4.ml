@@ -32,6 +32,48 @@ let op_fs_append = 8
 let op_fs_read = 9
 let op_exit = 10
 
+(* --- inter-guest vnet endpoint (E17) --- *)
+
+(* Guest-kernel work per direct-IPC packet beyond the kernel-charged
+   rendezvous/transfer: queue handling, header decode. *)
+let vnet_rx_work = 300
+
+type vnet = {
+  v_mach : Machine.t;
+  v_port : int;  (** This guest's address on the fabric. *)
+  v_rx : (int * int) Overload.Bounded_queue.t;  (** (tag, len) *)
+  v_timeout : int64;  (** Rendezvous timeout on the data path. *)
+  v_ecn_delay : int64;  (** Sender pause after a marked reply. *)
+  v_peers : (int, Sysif.tid) Hashtbl.t;  (** Resolved port -> gk tid. *)
+  v_opened : (int, unit) Hashtbl.t;  (** Peers with the mapping set up. *)
+  v_unknown : (int, unit) Hashtbl.t;  (** Negative lookup cache. *)
+  mutable v_sent : int;
+  mutable v_received : int;
+}
+
+let vnet ~mach ~port ?(rx_capacity = 64)
+    ?(rx_policy = Overload.Bounded_queue.Reject) ?mark_at
+    ?(timeout = 2_000_000L) ?(ecn_delay = 100_000L) () =
+  if port < 1 then invalid_arg "Port_l4.vnet: port < 1";
+  {
+    v_mach = mach;
+    v_port = port;
+    v_rx =
+      Overload.Bounded_queue.create ~policy:rx_policy ?mark_at
+        ~capacity:rx_capacity ();
+    v_timeout = timeout;
+    v_ecn_delay = ecn_delay;
+    v_peers = Hashtbl.create 8;
+    v_opened = Hashtbl.create 8;
+    v_unknown = Hashtbl.create 8;
+    v_sent = 0;
+    v_received = 0;
+  }
+
+let vnet_port v = v.v_port
+let vnet_sent v = v.v_sent
+let vnet_received v = v.v_received
+
 (* --- guest-kernel server --- *)
 
 type gk_state = {
@@ -39,6 +81,7 @@ type gk_state = {
       (** Resolved per attempt, so a watchdog rebind takes effect. *)
   blk : unit -> Sysif.tid option;
   retry : retry option;
+  vnet : vnet option;
   mutable fs : Minifs.t option;
 }
 
@@ -102,6 +145,140 @@ let driver_call st resolve m =
           Counter.incr counters "l4.gaveup";
           !last
 
+let reply_safely dst m = try Sysif.send dst m with Sysif.Ipc_error _ -> ()
+
+(* Receiver half of the direct channel: queue the packet, answer with
+   the ECN mark — or [busy] when the bounded queue rejects (the sender
+   retries under backoff, exactly like a shedding driver). *)
+let vnet_accept v (m : Sysif.msg) =
+  let counters = v.v_mach.Machine.counters in
+  Sysif.burn vnet_rx_work;
+  let len = Sysif.str_total m in
+  let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
+  match
+    Overload.Bounded_queue.push v.v_rx
+      ~now:(Vmk_sim.Engine.now v.v_mach.Machine.engine)
+      (tag, len)
+  with
+  | Overload.Bounded_queue.Accepted | Overload.Bounded_queue.Displaced _ ->
+      v.v_received <- v.v_received + 1;
+      let mark = Overload.Bounded_queue.marked v.v_rx in
+      if mark then Counter.incr counters Overload.ecn_mark_counter;
+      ok_reply ~items:[ Sysif.Words [| (if mark then 1 else 0) |] ] ()
+  | Overload.Bounded_queue.Rejected | Overload.Bounded_queue.Retry_until _ ->
+      Counter.incr counters "vnet.drop";
+      Counter.incr counters Overload.drop_counter;
+      Sysif.msg Proto.busy
+
+let vnet_open_accept v (m : Sysif.msg) =
+  (* Accepting the granted fpage {e is} the channel setup; the kernel
+     already charged the map transfer. *)
+  ignore (Sysif.map_items m);
+  Counter.incr v.v_mach.Machine.counters "l4.vnet_accepted";
+  ok_reply ()
+
+(* Resolve a destination port to its guest kernel: peer cache, then one
+   broker round trip ({!Proto.vnet_lookup}); misses are cached
+   negatively so unknown ports cost one lookup, not one per packet. *)
+let vnet_resolve st v dst =
+  match Hashtbl.find_opt v.v_peers dst with
+  | Some tid -> Some tid
+  | None ->
+      if Hashtbl.mem v.v_unknown dst then None
+      else begin
+        match
+          driver_call st st.net
+            (Sysif.msg Proto.vnet_lookup ~items:[ Sysif.Words [| dst |] ])
+        with
+        | Some r
+          when r.Sysif.label = Proto.ok && Array.length (Sysif.words r) > 0
+          ->
+            let tid = (Sysif.words r).(0) in
+            Hashtbl.replace v.v_peers dst tid;
+            Some tid
+        | Some _ | None ->
+            Hashtbl.replace v.v_unknown dst ();
+            None
+      end
+
+(* First contact with a peer: grant it a page — the shared-mapping setup
+   of the direct channel. Failure is not fatal; the data path still
+   works and the open is retried on the next send. *)
+let vnet_open_peer v peer dst =
+  if not (Hashtbl.mem v.v_opened dst) then begin
+    match
+      Sysif.call ~timeout:v.v_timeout peer
+        (Sysif.msg Proto.vnet_open
+           ~items:[ Sysif.Map { fpage = Sysif.alloc_pages 1; grant = true } ])
+    with
+    | _, r when r.Sysif.label = Proto.ok ->
+        Counter.incr v.v_mach.Machine.counters "l4.vnet_open";
+        Hashtbl.replace v.v_opened dst ()
+    | _, _ -> ()
+    | exception Sysif.Ipc_error _ -> ()
+  end
+
+(* One data packet, gk → gk, as a Call carrying a string item; the
+   reply bounces the receiver's ECN mark. [busy] and missed rendezvous
+   retry on the shared backoff schedule. *)
+let vnet_send st v ~len ~tag peer =
+  let counters = v.v_mach.Machine.counters in
+  let once () =
+    match
+      Sysif.call ~timeout:v.v_timeout peer
+        (Sysif.msg Proto.vnet_pkt ~items:[ Sysif.Str { bytes = len; tag } ])
+    with
+    | _, r when r.Sysif.label = Proto.ok ->
+        v.v_sent <- v.v_sent + 1;
+        Counter.incr counters "l4.vnet_tx";
+        let w = Sysif.words r in
+        if Array.length w > 0 && w.(0) = 1 then begin
+          (* Receiver past its watermark: pace before it drops. *)
+          Counter.incr counters Overload.ecn_backoff_counter;
+          Sysif.sleep v.v_ecn_delay
+        end;
+        Some (ok_reply ())
+    | _, r when r.Sysif.label = Proto.busy -> None
+    | _, _ -> Some error_reply
+    | exception Sysif.Ipc_error _ -> None
+  in
+  match st.retry with
+  | None -> ( match once () with Some reply -> reply | None -> error_reply)
+  | Some r -> (
+      let backoff =
+        Overload.Backoff.create ~attempts:r.attempts ~base:r.base_delay r.rng
+      in
+      let sleep d =
+        Counter.incr counters "l4.retries";
+        Sysif.sleep d
+      in
+      match Overload.Backoff.run backoff ~counters ~sleep once with
+      | Some reply -> reply
+      | None ->
+          Counter.incr counters "l4.gaveup";
+          error_reply)
+
+(* Blocking receive off the fabric: drain the local queue, else sit in
+   an open receive absorbing direct-IPC traffic (senders are
+   Call-blocked on us, so a plain send always reaches them) until a
+   packet lands or the timeout fires. *)
+let rec vnet_recv st v =
+  match Overload.Bounded_queue.pop v.v_rx with
+  | Some (tag, len) -> ok_reply ~items:[ Sysif.Str { bytes = len; tag } ] ()
+  | None -> (
+      match Sysif.recv ~timeout:v.v_timeout Sysif.Any with
+      | src, m when m.Sysif.label = Proto.vnet_pkt ->
+          reply_safely src (vnet_accept v m);
+          vnet_recv st v
+      | src, m when m.Sysif.label = Proto.vnet_open ->
+          reply_safely src (vnet_open_accept v m);
+          vnet_recv st v
+      | src, _ ->
+          reply_safely src error_reply;
+          vnet_recv st v
+      | exception Sysif.Ipc_error Sysif.Timeout -> error_reply
+      | exception Sysif.Ipc_error _ -> error_reply)
+
 let gk_blk_op st ~write ~sector ~bytes ~tag =
   if write then
     driver_call st st.blk
@@ -143,20 +320,42 @@ let serve st (m : Sysif.msg) =
   else if op = op_net_send then begin
     let bytes = Sysif.str_total m in
     let tag = Option.value (Sysif.first_str_tag m) ~default:0 in
-    match
-      driver_call st st.net
-        (Sysif.msg Proto.net_send ~items:[ Sysif.Str { bytes; tag } ])
-    with
-    | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
-    | Some _ | None -> error_reply
+    (* On the fabric, a resolvable vnet destination goes direct
+       (gk → gk IPC); everything else — broadcast, unknown ports,
+       plain traffic — takes the driver path. *)
+    let direct =
+      match st.vnet with
+      | None -> None
+      | Some v ->
+          let dst = Sys.vnet_dst tag in
+          if dst = Sys.vnet_broadcast then None
+          else
+            Option.map
+              (fun peer -> (v, peer, dst))
+              (vnet_resolve st v dst)
+    in
+    match direct with
+    | Some (v, peer, dst) ->
+        vnet_open_peer v peer dst;
+        vnet_send st v ~len:bytes ~tag peer
+    | None -> (
+        match
+          driver_call st st.net
+            (Sysif.msg Proto.net_send ~items:[ Sysif.Str { bytes; tag } ])
+        with
+        | Some reply when reply.Sysif.label = Proto.ok -> ok_reply ()
+        | Some _ | None -> error_reply)
   end
   else if op = op_net_recv then begin
-    match driver_call st st.net (Sysif.msg Proto.net_recv) with
-    | Some reply when reply.Sysif.label = Proto.ok ->
-        let bytes = Sysif.str_total reply in
-        let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
-        ok_reply ~items:[ Sysif.Str { bytes; tag } ] ()
-    | Some _ | None -> error_reply
+    match st.vnet with
+    | Some v -> vnet_recv st v
+    | None -> (
+        match driver_call st st.net (Sysif.msg Proto.net_recv) with
+        | Some reply when reply.Sysif.label = Proto.ok ->
+            let bytes = Sysif.str_total reply in
+            let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
+            ok_reply ~items:[ Sysif.Str { bytes; tag } ] ()
+        | Some _ | None -> error_reply)
   end
   else if op = op_blk_write then begin
     let bytes = Sysif.str_total m in
@@ -188,7 +387,7 @@ let serve st (m : Sysif.msg) =
   else if op = op_exit then ok_reply ()
   else error_reply
 
-let guest_kernel_body ?retry ?net_svc ?blk_svc ~net ~blk () =
+let guest_kernel_body ?retry ?net_svc ?blk_svc ?vnet ~net ~blk () =
   let resolve svc fixed =
     match svc with
     | Some e -> fun () -> Some (Svc.tid e)
@@ -199,11 +398,35 @@ let guest_kernel_body ?retry ?net_svc ?blk_svc ~net ~blk () =
       net = resolve net_svc net;
       blk = resolve blk_svc blk;
       retry;
+      vnet;
       fs = None;
     }
   in
+  (* Join the fabric before serving: register our port with the broker
+     so peers can resolve us. *)
+  (match st.vnet with
+  | None -> ()
+  | Some v -> (
+      match
+        driver_call st st.net
+          (Sysif.msg Proto.vnet_attach ~items:[ Sysif.Words [| v.v_port |] ])
+      with
+      | Some r when r.Sysif.label = Proto.ok -> ()
+      | Some _ | None ->
+          Logs.warn (fun m -> m "gk: vnet attach failed (port %d)" v.v_port)));
+  (* Peers on the fabric talk to this server directly, interleaved with
+     the application's syscalls. *)
+  let handle (m : Sysif.msg) =
+    if m.Sysif.label = Proto.vnet_pkt then
+      match st.vnet with Some v -> vnet_accept v m | None -> error_reply
+    else if m.Sysif.label = Proto.vnet_open then
+      match st.vnet with
+      | Some v -> vnet_open_accept v m
+      | None -> error_reply
+    else serve st m
+  in
   let rec loop (client, m) =
-    let reply = serve st m in
+    let reply = handle m in
     match Sysif.reply_wait client reply with
     | next -> loop next
     | exception Sysif.Ipc_error _ ->
@@ -250,6 +473,11 @@ let handler mach gk =
           | Sys.G_yield -> rpc [| op_yield |]
           | Sys.G_net_send { len; tag } ->
               rpc [| op_net_send |] ~items:[ Sysif.Str { bytes = len; tag } ]
+          | Sys.G_net_drain ->
+              (* Direct-IPC sends are synchronous calls: by the time
+                 [vnet_send] returns the packet sits in the peer's
+                 endpoint queue, so there is nothing in flight. *)
+              Sysif.msg Proto.ok
           | Sys.G_net_recv -> rpc [| op_net_recv |]
           | Sys.G_blk_write { sector; len; tag } ->
               rpc
@@ -271,8 +499,8 @@ let handler mach gk =
               let len = Sysif.str_total reply in
               let tag = Option.value (Sysif.first_str_tag reply) ~default:0 in
               Sys.G_data { len; tag }
-          | Sys.G_burn _ | Sys.G_yield | Sys.G_net_send _ | Sys.G_blk_write _
-          | Sys.G_fs_append _ | Sys.G_exit ->
+          | Sys.G_burn _ | Sys.G_yield | Sys.G_net_send _ | Sys.G_net_drain
+          | Sys.G_blk_write _ | Sys.G_fs_append _ | Sys.G_exit ->
               Sys.G_unit
         end
       end

@@ -31,10 +31,44 @@ val retry :
     (doubling per attempt). Derive the rng with {!Vmk_sim.Rng.split} to
     keep streams independent. *)
 
+type vnet
+(** Inter-guest fabric endpoint (E17): this guest kernel's address on
+    the vnet, its bounded direct-IPC receive queue and its peer caches.
+    The data path is gk → gk {!Vmk_ukernel.Sysif.call} with a string
+    item — no driver server in the loop; only connection setup (one
+    {!Vmk_ukernel.Proto.vnet_lookup} per new destination, one
+    {!Vmk_ukernel.Proto.vnet_open} map-grant per new peer) touches the
+    broker. *)
+
+val vnet :
+  mach:Vmk_hw.Machine.t ->
+  port:int ->
+  ?rx_capacity:int ->
+  ?rx_policy:Vmk_overload.Overload.Bounded_queue.policy ->
+  ?mark_at:int ->
+  ?timeout:int64 ->
+  ?ecn_delay:int64 ->
+  unit ->
+  vnet
+(** [port] is the guest's fabric address (≥ 1, see
+    {!Sys.vnet_tag}). The rx queue defaults to capacity 64, [Reject];
+    [mark_at] arms the ECN watermark — marked replies make senders
+    pause [ecn_delay] cycles (default 100K) before their next packet
+    (counters ["overload.ecn_mark"]/["overload.ecn_backoff"]).
+    [timeout] (default 2M cycles) bounds each data-path rendezvous.
+    @raise Invalid_argument if [port < 1]. *)
+
+val vnet_port : vnet -> int
+val vnet_sent : vnet -> int
+(** Packets delivered direct to a peer (excludes retries). *)
+
+val vnet_received : vnet -> int
+
 val guest_kernel_body :
   ?retry:retry ->
   ?net_svc:Vmk_ukernel.Svc.entry ->
   ?blk_svc:Vmk_ukernel.Svc.entry ->
+  ?vnet:vnet ->
   net:Vmk_ukernel.Sysif.tid option ->
   blk:Vmk_ukernel.Sysif.tid option ->
   unit ->
@@ -48,7 +82,14 @@ val guest_kernel_body :
     transparently); the plain [net]/[blk] tids are used otherwise. With
     [retry], failed driver RPC — IPC error or [Proto.error] reply — is
     retried under the policy instead of failing the application call
-    outright. *)
+    outright.
+
+    With [vnet] the guest joins the fabric: it registers [port] with
+    the broker on startup, serves peers' {!Vmk_ukernel.Proto.vnet_pkt}
+    IPC interleaved with the application's syscalls, and routes
+    [G_net_send] with a resolvable vnet destination directly to the
+    peer guest kernel ([G_net_recv] then serves the fabric queue);
+    broadcast and unknown destinations fall back to the driver path. *)
 
 val app_body :
   Vmk_hw.Machine.t ->

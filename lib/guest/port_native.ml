@@ -143,6 +143,9 @@ let handler st call =
           pump_nic st;
           Sys.G_unit
       | Sys.G_net_send { len; tag } -> do_net_send st ~len ~tag
+      | Sys.G_net_drain ->
+          pump_nic st;
+          Sys.G_unit
       | Sys.G_net_recv -> do_net_recv st
       | Sys.G_blk_write { sector; len; tag } ->
           do_blk st Disk.Write ~sector ~len ~tag

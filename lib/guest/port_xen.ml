@@ -10,6 +10,11 @@ module Overload = Vmk_overload.Overload
 
 let io_timeout = 50_000_000L
 
+(* Sender pause after an ECN-marked transmit completion (E17): long
+   enough for the receiver to drain below the watermark, far shorter
+   than waiting out actual drops. *)
+let ecn_delay = 100_000L
+
 (* Recovery policy of a resilient guest: confirm the backend is dead
    (probe), wait for the toolstack to restart it, reconnect, and retry
    the failed operation — bounded attempts, exponential backoff. *)
@@ -106,6 +111,15 @@ let with_retry st ~recover once =
 
 let do_net_send st ~len ~tag =
   let front = net_exn st in
+  (* ECN: a marked completion means the bridge found the destination's
+     queue past its watermark — pace now, before drops start. *)
+  if Netfront.take_ecn_mark front then begin
+    Counter.incr st.mach.Machine.counters Overload.ecn_backoff_counter;
+    match Hcall.block ~timeout:ecn_delay () with
+    | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
+    | Hcall.Timed_out -> ()
+    | exception Hcall.Hcall_error _ -> ()
+  end;
   (* Back off while transmit resources are exhausted (ring
      back-pressure), on the shared seeded schedule — retries and cycles
      spent waiting are itemized under [overload.retry] /
@@ -132,6 +146,20 @@ let do_net_send st ~len ~tag =
     | exception Dead -> Sys.G_error "network backend dead"
   in
   with_retry st ~recover:(fun st r -> recover_net st r front) once
+
+(* Wait out the tx ring: exiting with transmits still queued strands
+   them (the backend's grant map fails against a dead domain), so a
+   sender drains before its last return. *)
+let do_net_drain st =
+  let front = net_exn st in
+  let drained () =
+    Netfront.pump front;
+    Netfront.tx_unacked front = 0 || Netfront.backend_dead front
+  in
+  let ok = Evt_mux.wait st.mux ~timeout:st.timeout ~until:drained () in
+  if Netfront.backend_dead front then Sys.G_error "network backend dead"
+  else if ok && Netfront.tx_unacked front = 0 then Sys.G_unit
+  else Sys.G_error "network drain timed out"
 
 let do_net_recv st =
   let front = net_exn st in
@@ -211,6 +239,7 @@ let handler st call =
           Hcall.yield ();
           Sys.G_unit
       | Sys.G_net_send { len; tag } -> do_net_send st ~len ~tag
+      | Sys.G_net_drain -> do_net_drain st
       | Sys.G_net_recv -> do_net_recv st
       | Sys.G_blk_write { sector; len; tag } -> do_blk st `Write ~sector ~len ~tag
       | Sys.G_blk_read { sector; len } -> do_blk st `Read ~sector ~len ~tag:0

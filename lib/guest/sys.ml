@@ -3,6 +3,7 @@ type gcall =
   | G_getpid
   | G_yield
   | G_net_send of { len : int; tag : int }
+  | G_net_drain
   | G_net_recv
   | G_blk_write of { sector : int; len : int; tag : int }
   | G_blk_read of { sector : int; len : int }
@@ -39,6 +40,7 @@ let burn n = expect_unit (invoke (G_burn n))
 let getpid () = expect_int (invoke G_getpid)
 let yield () = expect_unit (invoke G_yield)
 let net_send ~len ~tag = expect_unit (invoke (G_net_send { len; tag }))
+let net_drain () = expect_unit (invoke G_net_drain)
 
 let net_recv () =
   match invoke G_net_recv with
@@ -70,6 +72,25 @@ let exit () =
   assert false
 
 let block_size = 512
+
+(* Vnet addressing (E17): the machine-wide demux convention extended
+   with a source field — tag = dst·10⁶ + src·10⁴ + seq. The dst decode
+   is the same [tag / 10⁶] key Dom0 and the L4 demux have always used,
+   so vnet-tagged and plain traffic route through the same plumbing. *)
+
+let vnet_broadcast = 0
+let vnet_max_port = 99
+let vnet_max_seq = 9_999
+
+let vnet_tag ~src ~dst ~seq =
+  if src < 1 || src > vnet_max_port then invalid_arg "vnet_tag: src";
+  if dst < 0 || dst > vnet_max_port then invalid_arg "vnet_tag: dst";
+  if seq < 0 || seq > vnet_max_seq then invalid_arg "vnet_tag: seq";
+  (dst * 1_000_000) + (src * 10_000) + seq
+
+let vnet_dst tag = tag / 1_000_000
+let vnet_src tag = tag mod 1_000_000 / 10_000
+let vnet_seq tag = tag mod 10_000
 
 let run_with_handler ~handler body =
   let open Effect.Deep in
@@ -111,6 +132,7 @@ let kernel_work = function
   | G_getpid -> 120
   | G_yield -> 180
   | G_net_send _ -> 650
+  | G_net_drain -> 200
   | G_net_recv -> 700
   | G_blk_write _ | G_blk_read _ -> 800
   | G_fs_create _ -> 450

@@ -14,6 +14,7 @@ type gcall =
   | G_getpid  (** The canonical null syscall (experiment E4). *)
   | G_yield
   | G_net_send of { len : int; tag : int }
+  | G_net_drain  (** Wait until every queued transmit has completed. *)
   | G_net_recv  (** Block until a packet arrives. *)
   | G_blk_write of { sector : int; len : int; tag : int }
   | G_blk_read of { sector : int; len : int }
@@ -46,6 +47,13 @@ val yield : unit -> unit
 val net_send : len:int -> tag:int -> unit
 (** @raise Sys_error if the packet could not be queued. *)
 
+val net_drain : unit -> unit
+(** Wait until every transmit queued by {!net_send} has completed. A
+    sender must drain before exiting on the Xen port — a domain that
+    dies with requests still in its tx ring strands them. A no-op on
+    ports whose send path is synchronous (L4 direct IPC).
+    @raise Sys_error on timeout or when the network is gone. *)
+
 val net_recv : unit -> int * int
 (** Blocking receive; returns [(len, tag)].
     @raise Sys_error when the network is gone. *)
@@ -68,6 +76,28 @@ val exit : unit -> 'a
 val kernel_work : gcall -> int
 val block_size : int
 (** 512 bytes — the FS and blk transfer unit. *)
+
+(** {1 Vnet addressing (E17)}
+
+    N mini-OS instances on one machine are addressed by vnet port via
+    the packet tag: [tag = dst·10⁶ + src·10⁴ + seq]. The dst decode is
+    the [tag / 10⁶] demux key the I/O stacks have always used, so
+    vnet-tagged and NIC traffic share the routing plumbing. *)
+
+val vnet_broadcast : int
+(** Destination 0 floods to every attached port. *)
+
+val vnet_max_port : int
+(** Ports are 1..99 ([src] must not be 0). *)
+
+val vnet_max_seq : int
+
+val vnet_tag : src:int -> dst:int -> seq:int -> int
+(** @raise Invalid_argument when a field is out of range. *)
+
+val vnet_dst : int -> int
+val vnet_src : int -> int
+val vnet_seq : int -> int
 
 (** {1 Port plumbing} *)
 

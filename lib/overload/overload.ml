@@ -7,6 +7,12 @@ let retry_counter = "overload.retry"
 let backoff_counter = "overload.backoff_cycles"
 let queue_peak_prefix = "overload.queue_peak."
 let nic_drop_counter = "overload.nic_drop"
+let ring_reject_prefix = "overload.ring_reject."
+let fair_admit_counter = "overload.fair.admit"
+let fair_shed_counter = "overload.fair.shed"
+let fair_shed_prefix = "overload.fair.shed."
+let ecn_mark_counter = "overload.ecn_mark"
+let ecn_backoff_counter = "overload.ecn_backoff"
 let mitig_coalesced_counter = "mitig.irq_coalesced"
 let mitig_poll_rounds_counter = "mitig.poll_rounds"
 let mitig_batch_hist_prefix = "mitig.batch_hist."
@@ -93,22 +99,31 @@ module Bounded_queue = struct
   type 'a t = {
     capacity : int;
     policy : policy;
+    mark_at : int;
     items : 'a Queue.t;
     mutable accepted : int;
     mutable rejected : int;
     mutable displaced : int;
+    mutable marks : int;
     mutable peak : int;
   }
 
-  let create ?(policy = Reject) ~capacity () =
+  let create ?(policy = Reject) ?mark_at ~capacity () =
     if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+    (match mark_at with
+    | Some m when m < 1 -> invalid_arg "Bounded_queue.create: mark_at < 1"
+    | Some _ | None -> ());
     {
       capacity;
       policy;
+      (* No watermark = never marked ([capacity + 1] is unreachable
+         since [length <= capacity]). *)
+      mark_at = Option.value mark_at ~default:(capacity + 1);
       items = Queue.create ();
       accepted = 0;
       rejected = 0;
       displaced = 0;
+      marks = 0;
       peak = 0;
     }
 
@@ -145,6 +160,88 @@ module Bounded_queue = struct
   let rejected t = t.rejected
   let displaced t = t.displaced
   let peak t = t.peak
+
+  (* ECN-style early notification: the congestion signal fires while
+     there is still room, so the producer can back off before anything
+     is dropped. *)
+  let marked t =
+    let m = Queue.length t.items >= t.mark_at in
+    if m then t.marks <- t.marks + 1;
+    m
+
+  let marks t = t.marks
+end
+
+(* Per-client fair-share admission: one token bucket per demux key, the
+   key's weight scaling its refill rate (weight 2 = twice the tokens).
+   An aggressive client exhausts only its own bucket — the victim's
+   share survives the overload (the E15 follow-up the ROADMAP names). *)
+module Weighted_buckets = struct
+  type t = {
+    period : int64;  (** Refill period at weight 1. *)
+    burst : int;
+    counters : Counter.set option;
+    weights : (int, int) Hashtbl.t;
+    buckets : (int, Token_bucket.t) Hashtbl.t;
+    mutable admitted : int;
+    mutable shed : int;
+  }
+
+  let create ?counters ~period ~burst () =
+    if Int64.compare period 1L < 0 then
+      invalid_arg "Weighted_buckets.create: period < 1";
+    if burst < 1 then invalid_arg "Weighted_buckets.create: burst < 1";
+    {
+      period;
+      burst;
+      counters;
+      weights = Hashtbl.create 8;
+      buckets = Hashtbl.create 8;
+      admitted = 0;
+      shed = 0;
+    }
+
+  let weight t ~key = Option.value (Hashtbl.find_opt t.weights key) ~default:1
+
+  let set_weight t ~key w =
+    if w < 1 then invalid_arg "Weighted_buckets.set_weight: weight < 1";
+    Hashtbl.replace t.weights key w;
+    (* Any existing bucket was built at the old rate; rebuild lazily. *)
+    Hashtbl.remove t.buckets key
+
+  let bucket_for t key =
+    match Hashtbl.find_opt t.buckets key with
+    | Some b -> b
+    | None ->
+        let w = weight t ~key in
+        let period =
+          let p = Int64.div t.period (Int64.of_int w) in
+          if Int64.compare p 1L < 0 then 1L else p
+        in
+        let b = Token_bucket.create ~period ~burst:t.burst () in
+        Hashtbl.add t.buckets key b;
+        b
+
+  let admit t ~key ~now =
+    let ok = Token_bucket.admit (bucket_for t key) ~now in
+    (match t.counters with
+    | None -> ()
+    | Some c ->
+        if ok then Counter.incr c fair_admit_counter
+        else begin
+          Counter.incr c fair_shed_counter;
+          Counter.incr c (fair_shed_prefix ^ string_of_int key)
+        end);
+    if ok then t.admitted <- t.admitted + 1 else t.shed <- t.shed + 1;
+    ok
+
+  let admitted t = t.admitted
+  let shed t = t.shed
+
+  let shed_of t ~key =
+    match Hashtbl.find_opt t.buckets key with
+    | Some b -> Token_bucket.denied b
+    | None -> 0
 end
 
 module Backoff = struct

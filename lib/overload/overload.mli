@@ -37,6 +37,31 @@ val retry_counter : string
 val backoff_counter : string
 val queue_peak_prefix : string
 val nic_drop_counter : string
+
+val ring_reject_prefix : string
+(** [overload.ring_reject.<dev>] — producer-side pushes a full shared
+    ring refused (back-pressure the producer absorbs by retrying), as
+    opposed to [overload.drop], which counts payload actually lost.
+    Conflating the two double-counted retried tx attempts as drops —
+    the E17 bugfix sweep separated them. *)
+
+val fair_admit_counter : string
+(** [overload.fair.admit] — admissions through a {!Weighted_buckets}
+    gate. *)
+
+val fair_shed_counter : string
+(** [overload.fair.shed] — sheds at a {!Weighted_buckets} gate; also
+    itemized per client under [overload.fair.shed.<key>]. *)
+
+val fair_shed_prefix : string
+
+val ecn_mark_counter : string
+(** [overload.ecn_mark] — congestion marks propagated back to a
+    sender (a bounded queue past its high watermark, E17). *)
+
+(** [overload.ecn_backoff] — sender backoffs triggered by a mark
+    {e before} any drop occurred. *)
+val ecn_backoff_counter : string
 val mitig_coalesced_counter : string
 val mitig_poll_rounds_counter : string
 val mitig_batch_hist_prefix : string
@@ -92,9 +117,12 @@ module Bounded_queue : sig
 
   type 'a t
 
-  val create : ?policy:policy -> capacity:int -> unit -> 'a t
-  (** Default policy {!Reject}.
-      @raise Invalid_argument if [capacity < 1]. *)
+  val create : ?policy:policy -> ?mark_at:int -> capacity:int -> unit -> 'a t
+  (** Default policy {!Reject}. [mark_at] is the ECN high watermark:
+      once {!length} reaches it, {!marked} reports congestion so
+      producers can back off {e before} the queue fills and drops
+      (E17). Without it the queue never marks.
+      @raise Invalid_argument if [capacity < 1] or [mark_at < 1]. *)
 
   val push : 'a t -> now:int64 -> 'a -> 'a outcome
   val pop : 'a t -> 'a option
@@ -109,6 +137,46 @@ module Bounded_queue : sig
   val peak : 'a t -> int
   (** High-water mark of {!length} — never exceeds {!capacity} (the
       boundedness property the qcheck test asserts). *)
+
+  val marked : 'a t -> bool
+  (** [true] while {!length} is at or above the [mark_at] watermark —
+      the ECN congestion bit. Each [true] observation is also counted
+      (see {!marks}). *)
+
+  val marks : 'a t -> int
+  (** How many {!marked} observations came back [true]. *)
+end
+
+(** Per-client fair-share admission (E17): one deterministic
+    {!Token_bucket} per client key, refilling at [period / weight] — so
+    a client with weight 2 is admitted twice the rate of a weight-1
+    client, and an aggressive client exhausts only its own bucket.
+    Decisions are itemized under [overload.fair.admit] /
+    [overload.fair.shed] (plus [overload.fair.shed.<key>]) when a
+    counter set is supplied. *)
+module Weighted_buckets : sig
+  type t
+
+  val create :
+    ?counters:Vmk_trace.Counter.set -> period:int64 -> burst:int -> unit -> t
+  (** [period] is the weight-1 refill period; every bucket gets the same
+      [burst]. @raise Invalid_argument if [period < 1] or [burst < 1]. *)
+
+  val set_weight : t -> key:int -> int -> unit
+  (** Set a client's fair share (default 1).
+      @raise Invalid_argument on [weight < 1]. *)
+
+  val weight : t -> key:int -> int
+
+  val admit : t -> key:int -> now:int64 -> bool
+  (** Take one token from [key]'s bucket (created on first use);
+      [false] = shed this client's work. *)
+
+  val admitted : t -> int
+  val shed : t -> int
+
+  val shed_of : t -> key:int -> int
+  (** Sheds charged to one client so far. *)
 end
 
 (** Client retry schedule: exponential backoff with seeded jitter.

@@ -521,7 +521,20 @@ let handle_alloc_pages k (tcb : tcb) n =
     match Hashtbl.find_opt k.alloc_ptr tcb.asid with
     | None -> ready k tcb (R_error (Bad_argument "no-space"))
     | Some ptr -> (
-        let base_vpn = !ptr in
+        (* Received identity mappings (IPC map/grant items — e.g. the
+           vnet channel setup) may occupy vpns ahead of the allocation
+           pointer; slide the window past any collision instead of
+           double-mapping. *)
+        let rec free_base base =
+          let rec check i =
+            if i >= n then None
+            else if Mapdb.lookup k.mapdb ~asid:tcb.asid ~vpn:(base + i) <> None
+            then Some (base + i + 1)
+            else check (i + 1)
+          in
+          match check 0 with None -> base | Some next -> free_base next
+        in
+        let base_vpn = free_base !ptr in
         match Frame.alloc_many k.mach.Machine.frames ~owner:tcb.account n with
         | frames ->
             ptr := base_vpn + n;

@@ -5,6 +5,7 @@ module Arch = Vmk_hw.Arch
 module Engine = Vmk_sim.Engine
 module Counter = Vmk_trace.Counter
 module Overload = Vmk_overload.Overload
+module Vnet = Vmk_vnet.Vnet
 
 let account = "drv.net"
 
@@ -14,10 +15,30 @@ let account = "drv.net"
    900-cycle receive path. *)
 let shed_work = 60
 
+(* Broker bookkeeping per vnet attach/lookup (registry + table walk
+   beyond the itemized flow-cache/MAC costs). *)
+let vnet_attach_work = 200
+
+(* The vnet broker half of the L4 stack: guests register their port
+   here and resolve peers once; the data path then bypasses the server
+   entirely (direct IPC). Lookup reuses the same flow-cache → MAC-table
+   machinery the Dom0 bridge runs per packet — but here it is paid per
+   {e connection}, which is the whole point of the comparison. *)
+type broker = {
+  mac : Vnet.Mac_table.t;
+  flows : Vnet.Flow_cache.t;
+  registry : (int, Sysif.tid) Hashtbl.t;  (** port -> guest kernel *)
+  rev : (Sysif.tid, int) Hashtbl.t;
+}
+
 type state = {
   mach : Machine.t;
   free_tx : Frame.frame Queue.t;
   admit : Overload.Token_bucket.t option;
+  fair : Overload.Weighted_buckets.t option;
+      (** Per-client fair-share gate behind [admit], keyed on the
+          packet's demux key ([tag / 10⁶], the destination client). *)
+  vnet : broker option;
   rx_packets : (int * int) Overload.Bounded_queue.t; (* tag, len *)
   rx_waiters : Sysif.tid Queue.t;
 }
@@ -85,17 +106,27 @@ let rec drain_tx st =
       drain_tx st
   | None -> ()
 
+let fair_shed st (ev : Nic.rx_event) =
+  match st.fair with
+  | None -> false
+  | Some fair ->
+      not
+        (Overload.Weighted_buckets.admit fair
+           ~key:(ev.Nic.tag / 1_000_000)
+           ~now:(Engine.now st.mach.Machine.engine))
+
 let handle_irq st =
   let nic = st.mach.Machine.nic in
   let rec drain_rx () =
     match Nic.rx_ready nic with
     | Some ev ->
         let admitted =
-          match st.admit with
+          (match st.admit with
           | None -> true
           | Some bucket ->
               Overload.Token_bucket.admit bucket
-                ~now:(Engine.now st.mach.Machine.engine)
+                ~now:(Engine.now st.mach.Machine.engine))
+          && not (fair_shed st ev)
         in
         if admitted then accept_rx st ev else shed_rx st ev;
         drain_rx ()
@@ -146,7 +177,9 @@ let poll_round st ~budget =
               n
       in
       List.iteri
-        (fun i ev -> if i < k then accept_rx st ev else shed_rx st ev)
+        (fun i ev ->
+          if i >= k || fair_shed st ev then shed_rx st ev
+          else accept_rx st ev)
         evs;
       drain_tx st;
       flush_rx_batched st;
@@ -206,15 +239,80 @@ let handle_client st client (m : Sysif.msg) =
     Queue.add client st.rx_waiters;
     flush_rx st
   end
+  else if m.Sysif.label = Proto.vnet_attach then begin
+    match st.vnet with
+    | None -> reply_safely client (Sysif.msg Proto.error)
+    | Some vb ->
+        let w = Sysif.words m in
+        let port = if Array.length w > 0 then w.(0) else 0 in
+        if port < 1 then reply_safely client (Sysif.msg Proto.error)
+        else begin
+          Sysif.burn vnet_attach_work;
+          Hashtbl.replace vb.registry port client;
+          Hashtbl.replace vb.rev client port;
+          Vnet.Mac_table.learn vb.mac
+            ~now:(Engine.now st.mach.Machine.engine)
+            ~mac:port ~port;
+          Counter.incr st.mach.Machine.counters "drv.net.vnet_attach";
+          reply_safely client (Sysif.msg Proto.ok)
+        end
+  end
+  else if m.Sysif.label = Proto.vnet_lookup then begin
+    match st.vnet with
+    | None -> reply_safely client (Sysif.msg Proto.error)
+    | Some vb -> (
+        let counters = st.mach.Machine.counters in
+        let w = Sysif.words m in
+        let dst = if Array.length w > 0 then w.(0) else 0 in
+        let src = Option.value (Hashtbl.find_opt vb.rev client) ~default:0 in
+        let resolved =
+          match Vnet.Flow_cache.find vb.flows ~src ~dst with
+          | Some port ->
+              Sysif.burn Vnet.flow_hit_cost;
+              Counter.incr counters "vnet.flow_hit";
+              Some port
+          | None -> (
+              Sysif.burn Vnet.flow_miss_cost;
+              Counter.incr counters "vnet.flow_miss";
+              match
+                Vnet.Mac_table.lookup vb.mac
+                  ~now:(Engine.now st.mach.Machine.engine)
+                  dst
+              with
+              | Some port ->
+                  Vnet.Flow_cache.insert vb.flows ~src ~dst ~port;
+                  Some port
+              | None -> None)
+        in
+        match Option.bind resolved (Hashtbl.find_opt vb.registry) with
+        | Some tid ->
+            reply_safely client
+              (Sysif.msg Proto.ok ~items:[ Sysif.Words [| tid |] ])
+        | None ->
+            Counter.incr counters "vnet.no_route";
+            reply_safely client (Sysif.msg Proto.error))
+  end
   else reply_safely client (Sysif.msg Proto.error)
 
-let body mach ?(rx_buffers = 16) ?admit ?rx_capacity
-    ?(rx_policy = Overload.Bounded_queue.Drop_oldest) ?napi ?poll () =
+let body mach ?(rx_buffers = 16) ?admit ?fair ?rx_capacity
+    ?(rx_policy = Overload.Bounded_queue.Drop_oldest) ?napi ?poll
+    ?(vnet = false) ?(vnet_flow_capacity = 64) () =
   let st =
     {
       mach;
       free_tx = Queue.create ();
       admit;
+      fair;
+      vnet =
+        (if vnet then
+           Some
+             {
+               mac = Vnet.Mac_table.create ();
+               flows = Vnet.Flow_cache.create ~capacity:vnet_flow_capacity ();
+               registry = Hashtbl.create 8;
+               rev = Hashtbl.create 8;
+             }
+         else None);
       (* [max_int] capacity = the naive unbounded queue (still tracks
          its high-water mark for the E15 report). *)
       rx_packets =

@@ -13,10 +13,13 @@ val body :
   Vmk_hw.Machine.t ->
   ?rx_buffers:int ->
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?fair:Vmk_overload.Overload.Weighted_buckets.t ->
   ?rx_capacity:int ->
   ?rx_policy:Vmk_overload.Overload.Bounded_queue.policy ->
   ?napi:int ->
   ?poll:int64 ->
+  ?vnet:bool ->
+  ?vnet_flow_capacity:int ->
   unit ->
   unit
 (** Server loop; spawn with {!Kernel.spawn}. Posts [rx_buffers] (default
@@ -39,7 +42,19 @@ val body :
     {!Sysif.send_batch} reply flush; an empty round unmasks (one ack for
     the whole coalesced burst) and re-arms. [poll] is polling-only mode:
     the line is masked for good and the NIC is serviced every [poll]
-    cycles off the receive timeout (counter ["drv.net.poll_ticks"]). *)
+    cycles off the receive timeout (counter ["drv.net.poll_ticks"]).
+
+    Fair share (E17): [fair] adds per-client weighted admission behind
+    [admit], keyed on the packet's demux key ([tag / 10⁶]) — counters
+    ["overload.fair.admit"], ["overload.fair.shed"].
+
+    Vnet broker (E17): [vnet] makes the server the connection broker of
+    the L4 inter-guest path. Guest kernels register with
+    {!Proto.vnet_attach} and resolve peers with {!Proto.vnet_lookup}
+    (flow-cache → MAC-table, capacity [vnet_flow_capacity], costs
+    itemized under ["vnet.flow_hit"]/["vnet.flow_miss"]); the data path
+    then runs as direct guest-to-guest IPC, never touching this
+    server. *)
 
 val account : string
 (** Cycle account the server's work should be charged to: ["drv.net"].

@@ -28,3 +28,26 @@ val busy : int
 (** {1 Guest-kernel (L4Linux analog) protocol} *)
 
 val guest_syscall : int
+
+(** {1 Inter-guest vnet protocol (E17)}
+
+    Connection setup goes through the net server (the broker); the data
+    path is direct guest-kernel → guest-kernel IPC. *)
+
+val vnet_attach : int
+(** Client → broker: register the caller as vnet port [w.(0)]. *)
+
+val vnet_lookup : int
+(** Client → broker: resolve destination port [w.(0)] to its thread id
+    (flow-cache → MAC-table, with cycle accounting). [ok] carries the
+    tid in [w.(0)]; [error] means no such port. *)
+
+val vnet_pkt : int
+(** Guest → guest: one data packet as a string item. The [ok] reply
+    carries the receiver's ECN mark in [w.(0)] (1 = past the rx-queue
+    watermark, sender should back off); [busy] means the bounded rx
+    queue rejected it (retryable). *)
+
+val vnet_open : int
+(** Guest → guest, once per peer: establish the shared mapping for the
+    data path (carries a granted fpage). *)

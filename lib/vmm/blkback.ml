@@ -45,10 +45,17 @@ let connect_opt ?timeout ?(generation = 0) chan mach () =
               chan.Blk_channel.back_port <- Some my_port;
               Hcall.xs_write ~path:(sub "backend-port")
                 ~value:(string_of_int my_port);
-              Ring.on_drop chan.Blk_channel.ring (fun () ->
+              (* Response rejections are lost completions (real drops);
+                 request rejections are frontend back-pressure, itemized
+                 separately so retried submits do not inflate the
+                 machine-wide drop count. *)
+              Ring.on_response_drop chan.Blk_channel.ring (fun () ->
                   Counter.incr mach.Machine.counters
                     Vmk_overload.Overload.drop_counter;
                   Counter.incr mach.Machine.counters "overload.ring_drop.blk");
+              Ring.on_request_drop chan.Blk_channel.ring (fun () ->
+                  Counter.incr mach.Machine.counters
+                    (Vmk_overload.Overload.ring_reject_prefix ^ "blk"));
               Some
                 {
                   chan;

@@ -1,7 +1,7 @@
 type rx_mode = Flip | Copy
 
 type tx_req = { tx_gref : Hcall.gref; tx_len : int }
-type tx_resp = { txr_gref : Hcall.gref }
+type tx_resp = { txr_gref : Hcall.gref; txr_mark : bool }
 
 type rx_req =
   | Rx_post_flip of { flip_gref : Hcall.gref }

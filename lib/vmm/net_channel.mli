@@ -11,7 +11,12 @@ type rx_mode =
   | Copy  (** Backend copies payload into a guest-granted buffer. *)
 
 type tx_req = { tx_gref : Hcall.gref; tx_len : int }
-type tx_resp = { txr_gref : Hcall.gref }
+
+type tx_resp = { txr_gref : Hcall.gref; txr_mark : bool }
+(** [txr_mark] is the ECN congestion bit (E17): set when the bridge
+    found the destination port's queue past its high watermark, so the
+    sending frontend backs off before drops start. Always [false] on
+    the physical-NIC path. *)
 
 type rx_req =
   | Rx_post_flip of { flip_gref : Hcall.gref }

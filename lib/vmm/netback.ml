@@ -28,8 +28,18 @@ type t = {
   nic_target : int;
   admit : Overload.Token_bucket.t option;
       (** Rx admission gate; [None] admits everything (naive). *)
+  fair : Overload.Weighted_buckets.t option;
+      (** Per-sender fair-share gate, keyed on the vnet source decoded
+          from the packet tag; [None] skips it. *)
   napi : int option;
       (** NAPI poll budget; [None] keeps the interrupt-per-packet path. *)
+  attach_nic : bool;
+      (** Bridge backends ([false]) keep their pool frames instead of
+          posting them to the unused physical NIC. *)
+  mutable tx_handler : (len:int -> tag:int -> bool) option;
+      (** When set, transmits are handed here (the Dom0 bridge) instead
+          of the physical NIC, completing immediately; the handler's
+          result is bounced to the frontend as the ECN mark. *)
   mutable rx_delivered : int;
   mutable tx_forwarded : int;
   mutable dropped_nobuf : int;
@@ -38,12 +48,13 @@ type t = {
 }
 
 let restock_nic t =
-  while
-    Nic.rx_buffers_posted t.mach.Machine.nic < t.nic_target
-    && not (Queue.is_empty t.pool)
-  do
-    Nic.post_rx_buffer t.mach.Machine.nic (Queue.take t.pool)
-  done
+  if t.attach_nic then
+    while
+      Nic.rx_buffers_posted t.mach.Machine.nic < t.nic_target
+      && not (Queue.is_empty t.pool)
+    do
+      Nic.post_rx_buffer t.mach.Machine.nic (Queue.take t.pool)
+    done
 
 let pump_frontend_posts t =
   let rec drain () =
@@ -63,8 +74,8 @@ let pump_frontend_posts t =
 
 (* XenBus handshake; see {!Blkback.connect_opt} for the generation
    scheme shared by both backends. *)
-let connect_opt ?timeout ?(generation = 0) ?admit ?napi chan mach
-    ?(nic_buffers = 16) () =
+let connect_opt ?timeout ?(generation = 0) ?admit ?fair ?napi
+    ?(attach_nic = true) chan mach ?(nic_buffers = 16) () =
   let key = chan.Net_channel.key in
   let sub path =
     if generation = 0 then key ^ "/" ^ path
@@ -100,7 +111,10 @@ let connect_opt ?timeout ?(generation = 0) ?admit ?napi chan mach
                   tx_pending = Hashtbl.create 32;
                   nic_target = nic_buffers;
                   admit;
+                  fair;
                   napi;
+                  attach_nic;
+                  tx_handler = None;
                   rx_delivered = 0;
                   tx_forwarded = 0;
                   dropped_nobuf = 0;
@@ -108,14 +122,25 @@ let connect_opt ?timeout ?(generation = 0) ?admit ?napi chan mach
                   dirty = false;
                 }
               in
-              (* Ring-full rejections (either side, either direction)
-                 surface as machine-wide overload drops. *)
+              (* A rejected {e response} push is payload the backend
+                 accepted and could not deliver — a real machine-wide
+                 drop. A rejected {e request} push is producer
+                 back-pressure: the frontend still holds the buffer and
+                 retries under backoff, so it is itemized separately
+                 (the old shared hook multi-counted every retried tx
+                 attempt as a drop). *)
               let count_ring_drop () =
                 Counter.incr mach.Machine.counters Overload.drop_counter;
                 Counter.incr mach.Machine.counters "overload.ring_drop.net"
               in
-              Ring.on_drop chan.Net_channel.tx_ring count_ring_drop;
-              Ring.on_drop chan.Net_channel.rx_ring count_ring_drop;
+              let count_ring_reject () =
+                Counter.incr mach.Machine.counters
+                  (Overload.ring_reject_prefix ^ "net")
+              in
+              Ring.on_response_drop chan.Net_channel.tx_ring count_ring_drop;
+              Ring.on_response_drop chan.Net_channel.rx_ring count_ring_drop;
+              Ring.on_request_drop chan.Net_channel.tx_ring count_ring_reject;
+              Ring.on_request_drop chan.Net_channel.rx_ring count_ring_reject;
               List.iter
                 (fun f -> Queue.add f t.pool)
                 (Hcall.alloc_frames nic_buffers);
@@ -123,8 +148,11 @@ let connect_opt ?timeout ?(generation = 0) ?admit ?napi chan mach
               Some t
           | exception Hcall.Hcall_error _ -> None))
 
-let connect ?admit ?napi chan mach ?nic_buffers () =
-  Option.get (connect_opt ?admit ?napi chan mach ?nic_buffers ())
+let connect ?admit ?fair ?napi ?attach_nic chan mach ?nic_buffers () =
+  Option.get
+    (connect_opt ?admit ?fair ?napi ?attach_nic chan mach ?nic_buffers ())
+
+let set_tx_handler t h = t.tx_handler <- Some h
 
 let port t = t.my_port
 let frontend t = t.front
@@ -140,8 +168,28 @@ let handle_event t =
         Hcall.burn (Net_channel.ring_cost + per_tx_work);
         match Hcall.grant_map ~dom:t.front ~gref:tx_gref with
         | frame ->
-            Hashtbl.replace t.tx_pending frame.Frame.index tx_gref;
-            Nic.submit_tx t.mach.Machine.nic frame ~len:tx_len;
+            (match t.tx_handler with
+            | Some handler ->
+                (* Bridge path: the packet goes to the virtual switch,
+                   not the NIC. The transmit completes immediately —
+                   the frame was consumed by the handler — and the
+                   switch's congestion verdict rides back on the
+                   response as the ECN mark. *)
+                let tag = frame.Frame.tag in
+                let mark = handler ~len:tx_len ~tag in
+                (try Hcall.grant_unmap ~dom:t.front ~gref:tx_gref
+                 with Hcall.Hcall_error _ -> ());
+                Hcall.burn Net_channel.ring_cost;
+                if
+                  Ring.push_response t.chan.Net_channel.tx_ring
+                    { Net_channel.txr_gref = tx_gref; txr_mark = mark }
+                then t.dirty <- true
+                else
+                  Counter.incr t.mach.Machine.counters
+                    "netback.txr_ring_full"
+            | None ->
+                Hashtbl.replace t.tx_pending frame.Frame.index tx_gref;
+                Nic.submit_tx t.mach.Machine.nic frame ~len:tx_len);
             t.tx_forwarded <- t.tx_forwarded + 1;
             Counter.incr t.mach.Machine.counters "netback.tx_packets";
             drain_tx ()
@@ -153,8 +201,10 @@ let handle_event t =
 
 (* A full rx response ring means the frontend is not consuming: reject
    before any grant work so nothing irreversible (a flipped frame, a
-   copied payload) happens for a packet that cannot be delivered. The
-   ring's [on_drop] hook has already counted the machine-wide drop. *)
+   copied payload) happens for a packet that cannot be delivered. No
+   push is attempted, so the ring's drop hook never fires — the
+   machine-wide count below is the only one (it used to claim the hook
+   had counted it too, which was never true). *)
 let rx_ring_full t =
   if Ring.response_space t.chan.Net_channel.rx_ring = 0 then begin
     Counter.incr t.mach.Machine.counters "netback.rx_ring_full";
@@ -175,6 +225,8 @@ let deliver_flip t (ev : Nic.rx_event) =
     | None ->
         t.dropped_nobuf <- t.dropped_nobuf + 1;
         Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        (* Accepted payload discarded: a real drop (was uncounted). *)
+        Counter.incr t.mach.Machine.counters Overload.drop_counter;
         Queue.add ev.Nic.frame t.pool;
         false
     | Some gref -> begin
@@ -205,6 +257,8 @@ let deliver_copy t (ev : Nic.rx_event) =
     | None ->
         t.dropped_nobuf <- t.dropped_nobuf + 1;
         Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        (* Accepted payload discarded: a real drop (was uncounted). *)
+        Counter.incr t.mach.Machine.counters Overload.drop_counter;
         Queue.add ev.Nic.frame t.pool;
         false
     | Some gref -> begin
@@ -248,14 +302,28 @@ let deliver_admitted t (ev : Nic.rx_event) =
   in
   if ok then t.dirty <- true
 
+(* Fair-share key: the vnet source decoded from the tag convention
+   (tag = dst·10⁶ + src·10⁴ + seq). Meaningful only under the vnet
+   encoding, which is the only place [fair] is installed. *)
+let fair_key tag = tag mod 1_000_000 / 10_000
+
+let fair_shed t (ev : Nic.rx_event) =
+  match t.fair with
+  | None -> false
+  | Some fair ->
+      not
+        (Overload.Weighted_buckets.admit fair ~key:(fair_key ev.Nic.tag)
+           ~now:(Engine.now t.mach.Machine.engine))
+
 let deliver_rx t (ev : Nic.rx_event) =
   let shed =
-    match t.admit with
+    (match t.admit with
     | None -> false
     | Some bucket ->
         not
           (Overload.Token_bucket.admit bucket
-             ~now:(Engine.now t.mach.Machine.engine))
+             ~now:(Engine.now t.mach.Machine.engine)))
+    || fair_shed t ev
   in
   if shed then shed_one t ev else deliver_admitted t ev
 
@@ -272,8 +340,40 @@ let deliver_batch t evs =
           n
   in
   List.iteri
-    (fun i ev -> if i < k then deliver_admitted t ev else shed_one t ev)
+    (fun i ev ->
+      if i >= k || fair_shed t ev then shed_one t ev
+      else deliver_admitted t ev)
     evs
+
+(* Inject one packet into the receive path without the physical NIC:
+   the bridge hands switch output here. A pool frame stands in for the
+   NIC buffer; every deliver/shed branch returns it to the pool, so the
+   pool count is conserved. *)
+let deliver_pkt t ~len ~tag =
+  match Queue.take_opt t.pool with
+  | None ->
+      t.dropped_nobuf <- t.dropped_nobuf + 1;
+      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+      Counter.incr t.mach.Machine.counters Overload.drop_counter;
+      false
+  | Some frame ->
+      Frame.set_tag frame tag;
+      let before = t.rx_delivered in
+      deliver_rx t { Nic.frame; len; tag };
+      t.rx_delivered > before
+
+(* The bridge's delivery gate: [deliver_pkt] would land this packet on
+   the frontend's ring rather than shed it for want of resources. The
+   frontend's repost-notify wakes the bridge again, so a [false] here
+   means "leave it queued at the switch", not "drop it". *)
+let rx_ready t =
+  pump_frontend_posts t;
+  (not (Queue.is_empty t.pool))
+  && Ring.response_space t.chan.Net_channel.rx_ring > 0
+  &&
+  match t.chan.Net_channel.mode with
+  | Net_channel.Flip -> not (Queue.is_empty t.flip_posts)
+  | Net_channel.Copy -> not (Queue.is_empty t.copy_grants)
 
 let complete_tx t (frame : Frame.frame) =
   match Hashtbl.find_opt t.tx_pending frame.Frame.index with
@@ -283,7 +383,7 @@ let complete_tx t (frame : Frame.frame) =
       (try Hcall.grant_unmap ~dom:t.front ~gref with Hcall.Hcall_error _ -> ());
       if
         Ring.push_response t.chan.Net_channel.tx_ring
-          { Net_channel.txr_gref = gref }
+          { Net_channel.txr_gref = gref; txr_mark = false }
       then t.dirty <- true
       else
         (* The frontend is not reaping tx completions; it will see the

@@ -14,7 +14,9 @@ type t
 
 val connect :
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?fair:Vmk_overload.Overload.Weighted_buckets.t ->
   ?napi:int ->
+  ?attach_nic:bool ->
   Net_channel.t ->
   Vmk_hw.Machine.t ->
   ?nic_buffers:int ->
@@ -32,13 +34,25 @@ val connect :
     [napi] packets at one [poll_batch_cost], admit them as one batch
     ({!Vmk_overload.Overload.Token_bucket.admit_n}) and push at most one
     event-channel notify per batch; the line is acknowledged and
-    re-enabled only when a round comes back empty. *)
+    re-enabled only when a round comes back empty.
+
+    [fair] adds a per-sender weighted fair-share gate behind [admit],
+    keyed on the vnet source decoded from the packet tag
+    (tag = dst·10⁶ + src·10⁴ + seq) — the E17 aggressor/victim
+    isolation. Only meaningful for vnet-tagged traffic.
+
+    [attach_nic:false] (bridge backends, E17) keeps pool frames local
+    instead of posting them as physical-NIC receive buffers: this
+    backend's receive side is fed by {!deliver_pkt}, its transmit side
+    redirected with {!set_tx_handler}. *)
 
 val connect_opt :
   ?timeout:int64 ->
   ?generation:int ->
   ?admit:Vmk_overload.Overload.Token_bucket.t ->
+  ?fair:Vmk_overload.Overload.Weighted_buckets.t ->
   ?napi:int ->
+  ?attach_nic:bool ->
   Net_channel.t ->
   Vmk_hw.Machine.t ->
   ?nic_buffers:int ->
@@ -69,6 +83,27 @@ val demux_key : t -> int
 
 val deliver_rx : t -> Vmk_hw.Nic.rx_event -> unit
 (** Deliver one received packet to this backend's frontend. *)
+
+val set_tx_handler : t -> (len:int -> tag:int -> bool) -> unit
+(** Redirect transmits away from the physical NIC: {!handle_event}
+    grant-maps each tx request, hands [~len ~tag] to the handler (the
+    bridge's switch-forward), unmaps and completes the transmit
+    immediately; the handler's boolean is bounced to the frontend as
+    the ECN mark ({!Net_channel.tx_resp}[.txr_mark]). *)
+
+val deliver_pkt : t -> len:int -> tag:int -> bool
+(** Inject one packet into this backend's receive path without the
+    physical NIC (the bridge drains switch ports through here). Runs
+    the full admission/delivery pipeline on a pool frame; [true] when
+    the packet reached the frontend's ring. *)
+
+val rx_ready : t -> bool
+(** The bridge's delivery gate: would {!deliver_pkt} land a packet on
+    the frontend's ring right now (pool frame, response slot and a
+    posted receive buffer all available)? Pumps pending frontend posts
+    first. When [false] the bridge leaves packets queued at the switch
+    port — real back-pressure that builds toward the ECN watermark —
+    and resumes on the frontend's repost notify. *)
 
 val complete_tx : t -> Vmk_hw.Frame.frame -> bool
 (** Offer a completed transmit buffer; [true] if it was this backend's. *)

@@ -17,6 +17,10 @@ type t = {
   mutable rx_post_dropped : int;
       (** Receive-buffer posts rejected by a full rx ring — explicit
           back-pressure, not a silent leak (the grant is revoked). *)
+  mutable ecn_pending : bool;
+      (** A tx completion carried the bridge's congestion mark and the
+          sender has not yet consumed it. *)
+  mutable ecn_marks : int;
   mutable dead : bool;
 }
 
@@ -77,6 +81,8 @@ let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
       tx_acked = 0;
       rx_received = 0;
       rx_post_dropped = 0;
+      ecn_pending = false;
+      ecn_marks = 0;
       dead = false;
     }
   in
@@ -101,7 +107,11 @@ let pump t =
   let reposted = ref false in
   let rec drain_tx () =
     match Ring.pop_response t.chan.Net_channel.tx_ring with
-    | Some { Net_channel.txr_gref } ->
+    | Some { Net_channel.txr_gref; txr_mark } ->
+        if txr_mark then begin
+          t.ecn_pending <- true;
+          t.ecn_marks <- t.ecn_marks + 1
+        end;
         Hcall.burn Net_channel.ring_cost;
         (match Hashtbl.find_opt t.tx_inflight txr_gref with
         | Some frame ->
@@ -198,8 +208,16 @@ let recv_blocking t ?timeout () =
   loop ()
 
 let tx_acked t = t.tx_acked
+let tx_unacked t = Hashtbl.length t.tx_inflight
 let rx_received t = t.rx_received
 let rx_post_dropped t = t.rx_post_dropped
+
+let take_ecn_mark t =
+  let m = t.ecn_pending in
+  t.ecn_pending <- false;
+  m
+
+let ecn_marks t = t.ecn_marks
 let backend_dead t = t.dead
 let generation t = t.generation
 

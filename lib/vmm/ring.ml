@@ -7,7 +7,8 @@ type ('req, 'resp) t = {
   mutable req_dropped : int;
   mutable resp_dropped : int;
   mutable limit : int option;
-  mutable on_drop : unit -> unit;
+  mutable on_request_drop : unit -> unit;
+  mutable on_response_drop : unit -> unit;
 }
 
 let create ~capacity () =
@@ -21,7 +22,8 @@ let create ~capacity () =
     req_dropped = 0;
     resp_dropped = 0;
     limit = None;
-    on_drop = (fun () -> ());
+    on_request_drop = (fun () -> ());
+    on_response_drop = (fun () -> ());
   }
 
 let capacity t = t.capacity
@@ -35,12 +37,17 @@ let set_limit t limit =
   | Some _ | None -> ());
   t.limit <- limit
 
-let on_drop t f = t.on_drop <- f
+let on_drop t f =
+  t.on_request_drop <- f;
+  t.on_response_drop <- f
+
+let on_request_drop t f = t.on_request_drop <- f
+let on_response_drop t f = t.on_response_drop <- f
 
 let push_request t req =
   if Queue.length t.reqs >= effective_capacity t then begin
     t.req_dropped <- t.req_dropped + 1;
-    t.on_drop ();
+    t.on_request_drop ();
     false
   end
   else begin
@@ -54,7 +61,7 @@ let pop_request t = Queue.take_opt t.reqs
 let push_response t resp =
   if Queue.length t.resps >= effective_capacity t then begin
     t.resp_dropped <- t.resp_dropped + 1;
-    t.on_drop ();
+    t.on_response_drop ();
     false
   end
   else begin

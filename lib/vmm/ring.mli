@@ -26,8 +26,21 @@ val set_limit : ('req, 'resp) t -> int option -> unit
 
 val on_drop : ('req, 'resp) t -> (unit -> unit) -> unit
 (** Install a hook invoked on every rejected push (either direction),
-    replacing any previous hook. Backends use it to surface per-ring
-    drops into machine-wide overload counters. *)
+    replacing any previous hooks (equivalent to {!on_request_drop} and
+    {!on_response_drop} with the same hook). Backends use these to
+    surface per-ring rejections into machine-wide overload counters. *)
+
+val on_request_drop : ('req, 'resp) t -> (unit -> unit) -> unit
+(** Hook for rejected {e request} pushes only. A refused request is
+    producer back-pressure — the frontend holds the payload and
+    typically retries under backoff — so backends count it under
+    [overload.ring_reject.*], not [overload.drop] (the E17 bugfix: the
+    old shared hook multi-counted every retried tx attempt as a
+    machine-wide drop). *)
+
+val on_response_drop : ('req, 'resp) t -> (unit -> unit) -> unit
+(** Hook for rejected {e response} pushes only — payload the backend
+    accepted and then could not deliver, i.e. a real drop. *)
 
 val push_request : ('req, 'resp) t -> 'req -> bool
 (** Enqueue a request; [false] when the ring is full (frontend must back

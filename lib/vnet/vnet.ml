@@ -1,0 +1,318 @@
+module Counter = Vmk_trace.Counter
+module Overload = Vmk_overload.Overload
+
+(* Packet addressing shares the machine-wide demux convention
+   (tag = dst·10⁶ + src·10⁴ + seq, see {!Vmk_guest.Sys}): the switch
+   never parses tags itself — callers hand it a decoded packet. *)
+type pkt = { src : int; dst : int; len : int; tag : int }
+
+let broadcast = 0
+
+(* Cycle prices of the forwarding decision, charged through the
+   caller-supplied [burn] so each stack bills the right account (Dom0
+   for the bridge, the net server for the broker). A flow-cache hit
+   skips the MAC-table walk — the gap the E17 hit-ratio sweep
+   measures. *)
+let flow_hit_cost = 40
+let flow_miss_cost = 180
+let enqueue_cost = 25
+
+(* --- learning MAC table with aging ------------------------------- *)
+
+module Mac_table = struct
+  type entry = { mutable port : int; mutable last_seen : int64 }
+
+  type t = {
+    ttl : int64;
+    entries : (int, entry) Hashtbl.t;
+    mutable learns : int;
+    mutable moves : int;
+    mutable expiries : int;
+  }
+
+  let create ?(ttl = 1_000_000_000L) () =
+    if Int64.compare ttl 1L < 0 then invalid_arg "Mac_table.create: ttl < 1";
+    { ttl; entries = Hashtbl.create 16; learns = 0; moves = 0; expiries = 0 }
+
+  let learn t ~now ~mac ~port =
+    match Hashtbl.find_opt t.entries mac with
+    | Some e ->
+        if e.port <> port then begin
+          (* Station moved (or the guest was replugged): rebind. *)
+          e.port <- port;
+          t.moves <- t.moves + 1
+        end;
+        e.last_seen <- now
+    | None ->
+        Hashtbl.add t.entries mac { port; last_seen = now };
+        t.learns <- t.learns + 1
+
+  let lookup t ~now mac =
+    match Hashtbl.find_opt t.entries mac with
+    | Some e ->
+        if Int64.compare (Int64.sub now e.last_seen) t.ttl > 0 then begin
+          (* Stale entry: age it out — the packet floods like an
+             unknown destination. *)
+          Hashtbl.remove t.entries mac;
+          t.expiries <- t.expiries + 1;
+          None
+        end
+        else Some e.port
+    | None -> None
+
+  let size t = Hashtbl.length t.entries
+  let learns t = t.learns
+  let moves t = t.moves
+  let expiries t = t.expiries
+end
+
+(* --- bounded flow cache with hit/miss accounting ----------------- *)
+
+module Flow_cache = struct
+  type t = {
+    capacity : int;
+    entries : (int * int, int) Hashtbl.t;  (** (src, dst) -> out port *)
+    order : (int * int) Queue.t;  (** FIFO eviction order. *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity () =
+    if capacity < 1 then invalid_arg "Flow_cache.create: capacity < 1";
+    {
+      capacity;
+      entries = Hashtbl.create 32;
+      order = Queue.create ();
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let find t ~src ~dst =
+    match Hashtbl.find_opt t.entries (src, dst) with
+    | Some port ->
+        t.hits <- t.hits + 1;
+        Some port
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+  let insert t ~src ~dst ~port =
+    if not (Hashtbl.mem t.entries (src, dst)) then begin
+      if Hashtbl.length t.entries >= t.capacity then begin
+        let victim = Queue.take t.order in
+        Hashtbl.remove t.entries victim;
+        t.evictions <- t.evictions + 1
+      end;
+      Hashtbl.add t.entries (src, dst) port;
+      Queue.add (src, dst) t.order
+    end
+
+  let invalidate t ~mac =
+    (* A station moved: every cached flow naming it (either side) is
+       wrong now. Rebuilding the FIFO keeps eviction order coherent. *)
+    let stale = Hashtbl.fold
+        (fun (s, d) _ acc -> if s = mac || d = mac then (s, d) :: acc else acc)
+        t.entries []
+    in
+    List.iter (Hashtbl.remove t.entries) stale;
+    if stale <> [] then begin
+      let keep = Queue.create () in
+      Queue.iter
+        (fun k -> if Hashtbl.mem t.entries k then Queue.add k keep)
+        t.order;
+      Queue.clear t.order;
+      Queue.transfer keep t.order
+    end
+
+  let size t = Hashtbl.length t.entries
+  let capacity t = t.capacity
+  let hits t = t.hits
+  let misses t = t.misses
+  let evictions t = t.evictions
+
+  let hit_ratio t =
+    let total = t.hits + t.misses in
+    if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+end
+
+(* --- the switch --------------------------------------------------- *)
+
+module Switch = struct
+  type port = {
+    id : int;
+    rx : pkt Overload.Bounded_queue.t;
+    mutable p_in : int;
+    mutable p_out : int;
+  }
+
+  type t = {
+    counters : Counter.set option;
+    burn : int -> unit;
+    mac : Mac_table.t;
+    flows : Flow_cache.t;
+    port_capacity : int;
+    port_policy : Overload.Bounded_queue.policy;
+    mark_at : int option;
+    fair : Overload.Weighted_buckets.t option;
+    ports : (int, port) Hashtbl.t;
+    mutable forwarded : int;
+    mutable flooded : int;
+    mutable dropped : int;
+    mutable no_route : int;
+  }
+
+  type delivery = { enqueued : int; marked : bool; flood : bool }
+
+  let create ?counters ?(burn = fun _ -> ()) ?(mac_ttl = 1_000_000_000L)
+      ?(flow_capacity = 64) ?(port_capacity = 64)
+      ?(port_policy = Overload.Bounded_queue.Reject) ?mark_at ?fair () =
+    {
+      counters;
+      burn;
+      mac = Mac_table.create ~ttl:mac_ttl ();
+      flows = Flow_cache.create ~capacity:flow_capacity ();
+      port_capacity;
+      port_policy;
+      mark_at;
+      fair;
+      ports = Hashtbl.create 8;
+      forwarded = 0;
+      flooded = 0;
+      dropped = 0;
+      no_route = 0;
+    }
+
+  let note t name =
+    match t.counters with None -> () | Some c -> Counter.incr c name
+
+  let add_port t ~id =
+    if Hashtbl.mem t.ports id then invalid_arg "Switch.add_port: duplicate id";
+    if id = broadcast then invalid_arg "Switch.add_port: 0 is broadcast";
+    let p =
+      {
+        id;
+        rx =
+          Overload.Bounded_queue.create ~policy:t.port_policy
+            ?mark_at:t.mark_at ~capacity:t.port_capacity ();
+        p_in = 0;
+        p_out = 0;
+      }
+    in
+    Hashtbl.add t.ports id p;
+    id
+
+  let port_exn t id =
+    match Hashtbl.find_opt t.ports id with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Switch: unknown port %d" id)
+
+  let ports t =
+    List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.ports [])
+
+  let enqueue t ~now port pkt =
+    t.burn enqueue_cost;
+    match Overload.Bounded_queue.push port.rx ~now pkt with
+    | Overload.Bounded_queue.Accepted ->
+        port.p_out <- port.p_out + 1;
+        t.forwarded <- t.forwarded + 1;
+        true
+    | Overload.Bounded_queue.Displaced _ ->
+        (* The fresh packet got in; the displaced head is the loss. *)
+        port.p_out <- port.p_out + 1;
+        t.forwarded <- t.forwarded + 1;
+        t.dropped <- t.dropped + 1;
+        note t "vnet.drop";
+        note t Overload.drop_counter;
+        true
+    | Overload.Bounded_queue.Rejected | Overload.Bounded_queue.Retry_until _ ->
+        t.dropped <- t.dropped + 1;
+        note t "vnet.drop";
+        note t Overload.drop_counter;
+        false
+
+  (* One forwarding decision: learn the source, admit (fair-share,
+     keyed on the in-port), resolve via flow cache then MAC table,
+     flood on broadcast/unknown, enqueue on the destination port(s).
+     The result carries the destination's ECN mark so the caller can
+     bounce it to the sender. *)
+  let forward t ~now ~in_port (p : pkt) =
+    let src_port = port_exn t in_port in
+    src_port.p_in <- src_port.p_in + 1;
+    Mac_table.learn t.mac ~now ~mac:p.src ~port:in_port;
+    let admitted =
+      match t.fair with
+      | None -> true
+      | Some fair -> Overload.Weighted_buckets.admit fair ~key:in_port ~now
+    in
+    if not admitted then begin
+      (* Shed at the gate, before any lookup work (livelock defense). *)
+      t.burn enqueue_cost;
+      { enqueued = 0; marked = false; flood = false }
+    end
+    else if p.dst = broadcast then begin
+      (* Flood: every port but the source. *)
+      t.burn flow_miss_cost;
+      note t "vnet.flood";
+      t.flooded <- t.flooded + 1;
+      let n = ref 0 and marked = ref false in
+      List.iter
+        (fun id ->
+          if id <> in_port then begin
+            let dst = port_exn t id in
+            if enqueue t ~now dst p then incr n;
+            if Overload.Bounded_queue.marked dst.rx then marked := true
+          end)
+        (ports t);
+      { enqueued = !n; marked = !marked; flood = true }
+    end
+    else begin
+      let out =
+        match Flow_cache.find t.flows ~src:p.src ~dst:p.dst with
+        | Some port ->
+            t.burn flow_hit_cost;
+            note t "vnet.flow_hit";
+            Some port
+        | None -> (
+            t.burn flow_miss_cost;
+            note t "vnet.flow_miss";
+            match Mac_table.lookup t.mac ~now p.dst with
+            | Some port ->
+                Flow_cache.insert t.flows ~src:p.src ~dst:p.dst ~port;
+                Some port
+            | None -> None)
+      in
+      match out with
+      | None ->
+          (* Unknown unicast destination: a real bridge floods; here
+             destinations are ports, so an unknown one means the guest
+             never attached — count and drop. *)
+          t.no_route <- t.no_route + 1;
+          note t "vnet.no_route";
+          { enqueued = 0; marked = false; flood = false }
+      | Some out_id when out_id = in_port ->
+          (* Hairpin to self: the bridge does not reflect. *)
+          t.no_route <- t.no_route + 1;
+          note t "vnet.no_route";
+          { enqueued = 0; marked = false; flood = false }
+      | Some out_id ->
+          let dst = port_exn t out_id in
+          let ok = enqueue t ~now dst p in
+          let marked = Overload.Bounded_queue.marked dst.rx in
+          if marked then note t Overload.ecn_mark_counter;
+          { enqueued = (if ok then 1 else 0); marked; flood = false }
+    end
+
+  let pop t ~port = Overload.Bounded_queue.pop (port_exn t port).rx
+  let pending t ~port = Overload.Bounded_queue.length (port_exn t port).rx
+  let port_marked t ~port = Overload.Bounded_queue.marked (port_exn t port).rx
+  let rx_of t ~port = (port_exn t port).p_in
+  let tx_of t ~port = (port_exn t port).p_out
+  let mac_table t = t.mac
+  let flow_cache t = t.flows
+  let forwarded t = t.forwarded
+  let flooded t = t.flooded
+  let dropped t = t.dropped
+  let no_route t = t.no_route
+end

@@ -12,6 +12,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("faults", Test_faults.suite);
       ("overload", Test_overload.suite);
+      ("vnet", Test_vnet.suite);
       ("smp", Test_smp.suite);
       ("mitig", Test_mitig.suite);
       ("core", Test_core.suite);
