@@ -373,6 +373,24 @@ let entries =
     ( "e17_pairwise_uk_2g_x6",
       Staged.stage (fun () ->
           ignore (Vmk_core.Exp_e17.pairwise ~stack:Vmk_core.Exp_e17.Uk ~guests:2 ~count:6)) );
+    ( "e18_disagg_baseline",
+      Staged.stage (fun () ->
+          ignore
+            (Vmk_core.Exp_e18.xen_run ~quick:true
+               ~mode:Vmk_core.Exp_e18.Disaggregated ~kill:false)) );
+    ( "e18_disagg_kill_recover",
+      Staged.stage (fun () ->
+          ignore
+            (Vmk_core.Exp_e18.xen_run ~quick:true
+               ~mode:Vmk_core.Exp_e18.Disaggregated ~kill:true)) );
+    ( "e18_mono_kill_recover",
+      Staged.stage (fun () ->
+          ignore
+            (Vmk_core.Exp_e18.xen_run ~quick:true
+               ~mode:Vmk_core.Exp_e18.Monolithic ~kill:true)) );
+    ( "e18_l4_kill_recover",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e18.l4_run ~quick:true ~kill:true)) );
     ( "a5_contended_io_boosted",
       Staged.stage (fun () ->
           ignore

@@ -45,6 +45,110 @@ type armed = {
           {!disarm} can cancel the ones that have not fired yet. *)
 }
 
+exception Invalid_plan of string
+
+let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid_plan msg)) fmt
+
+(* Half-open [start, stop) windows. *)
+let spans_overlap a_start a_stop b_start b_stop =
+  Int64.compare a_start b_stop < 0 && Int64.compare b_start a_stop < 0
+
+let sectors_overlap a b =
+  match (a, b) with
+  | None, _ | _, None -> true (* whole-disk windows hit every range *)
+  | Some (a_lo, a_hi), Some (b_lo, b_hi) -> a_lo <= b_hi && b_lo <= a_hi
+
+(* Arm time is the last moment a bad plan is cheap: a negative-duration
+   window silently never fires, and overlapping windows on one target
+   shadow each other (the device consults the first matching window), so
+   both are rejected with a message naming the offender. *)
+let validate plan =
+  let check_span what start stop =
+    if Int64.compare stop start < 0 then
+      invalid "%s window [%Ld, %Ld) has negative duration" what start stop
+  in
+  let check_pct what pct =
+    if pct < 0 || pct > 100 then invalid "%s fault pct %d outside 0..100" what pct
+  in
+  let disk_windows = ref [] and nic_windows = ref [] in
+  let grant_windows = ref [] and ring_windows = ref [] in
+  List.iter
+    (fun event ->
+      match event with
+      | Disk_faults windows ->
+          List.iter
+            (fun w ->
+              check_span "disk" w.d_start w.d_stop;
+              check_pct "disk" w.d_pct;
+              (match w.d_sectors with
+              | Some (lo, hi) when lo > hi ->
+                  invalid "disk window sector range [%d, %d] is empty" lo hi
+              | Some _ | None -> ());
+              List.iter
+                (fun prev ->
+                  if
+                    spans_overlap w.d_start w.d_stop prev.d_start prev.d_stop
+                    && sectors_overlap w.d_sectors prev.d_sectors
+                  then
+                    invalid
+                      "disk windows [%Ld, %Ld) and [%Ld, %Ld) overlap on the \
+                       same sectors"
+                      prev.d_start prev.d_stop w.d_start w.d_stop)
+                !disk_windows;
+              disk_windows := w :: !disk_windows)
+            windows
+      | Nic_faults windows ->
+          List.iter
+            (fun w ->
+              check_span "nic" w.n_start w.n_stop;
+              check_pct "nic" w.n_pct;
+              List.iter
+                (fun prev ->
+                  if spans_overlap w.n_start w.n_stop prev.n_start prev.n_stop
+                  then
+                    invalid "nic windows [%Ld, %Ld) and [%Ld, %Ld) overlap"
+                      prev.n_start prev.n_stop w.n_start w.n_stop)
+                !nic_windows;
+              nic_windows := w :: !nic_windows)
+            windows
+      | Irq_storm { line; at; count; gap } ->
+          if at < 0L then invalid "irq storm starts at negative time %Ld" at;
+          if count < 0 then invalid "irq storm has negative count %d" count;
+          if gap < 0L then invalid "irq storm has negative gap %Ld" gap;
+          ignore line
+      | Kill_at { at; target } ->
+          if at < 0L then
+            invalid "kill of %s scheduled at negative time %Ld" target at
+      | Grant_squeeze { g_start; g_stop; g_cap } ->
+          check_span "grant squeeze" g_start g_stop;
+          if g_cap < 0 then invalid "grant squeeze cap %d is negative" g_cap;
+          List.iter
+            (fun (prev_start, prev_stop) ->
+              if spans_overlap g_start g_stop prev_start prev_stop then
+                invalid
+                  "grant squeezes [%Ld, %Ld) and [%Ld, %Ld) overlap (the \
+                   second restore would lift the first cap early)"
+                  prev_start prev_stop g_start g_stop)
+            !grant_windows;
+          grant_windows := (g_start, g_stop) :: !grant_windows
+      | Ring_squeeze { r_start; r_stop; r_cap } ->
+          check_span "ring squeeze" r_start r_stop;
+          if r_cap < 0 then invalid "ring squeeze cap %d is negative" r_cap;
+          List.iter
+            (fun (prev_start, prev_stop) ->
+              if spans_overlap r_start r_stop prev_start prev_stop then
+                invalid "ring squeezes [%Ld, %Ld) and [%Ld, %Ld) overlap"
+                  prev_start prev_stop r_start r_stop)
+            !ring_windows;
+          ring_windows := (r_start, r_stop) :: !ring_windows
+      | Memory_pressure { m_at; m_frames; m_victim } ->
+          if m_at < 0L then
+            invalid "memory pressure at negative time %Ld" m_at;
+          if m_frames < 0 then
+            invalid "memory pressure steals negative frames %d (victim %s)"
+              m_frames m_victim)
+    plan
+
 let kill_times t target =
   List.filter_map
     (fun (name, at) -> if name = target then Some at else None)
@@ -58,6 +162,7 @@ let first_kill_time t target =
    time, in plan order — the draw sequence is a pure function of
    (machine seed, plan). *)
 let arm ?(pressure = fun (_ : pressure) -> ()) plan mach ~kill =
+  validate plan;
   let engine = mach.Machine.engine in
   let armed = { plan; kills_fired = []; handles = [] } in
   let schedule at f =

@@ -60,6 +60,20 @@ type event =
 
 type plan = event list
 
+exception Invalid_plan of string
+(** Raised by {!validate} (and so by {!arm}) on a malformed plan, with a
+    message naming the offending event. *)
+
+val validate : plan -> unit
+(** Reject malformed plans before they are installed: negative-duration
+    windows (which would silently never fire), fault percentages outside
+    0..100, negative storm counts/gaps/times, and overlapping fault
+    windows on the same target — two disk windows covering intersecting
+    time spans and sector ranges, two time-overlapping NIC windows, or
+    two overlapping squeezes of the same resource (where the earlier
+    restore would silently lift the later cap).
+    @raise Invalid_plan on the first violation found. *)
+
 type armed = {
   plan : plan;
   mutable kills_fired : (string * int64) list;
@@ -79,7 +93,8 @@ val arm :
     kills and resource squeezes on the machine's engine. Counters:
     ["faults.irq_storm"], ["faults.kill"], ["faults.grant_squeeze"],
     ["faults.ring_squeeze"], ["faults.mem_pressure"]. [pressure]
-    defaults to a no-op. *)
+    defaults to a no-op.
+    @raise Invalid_plan if the plan fails {!validate}. *)
 
 val disarm : armed -> Vmk_hw.Machine.t -> unit
 (** Clear the device fault windows and cancel every scheduled storm,

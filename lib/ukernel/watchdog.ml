@@ -1,14 +1,22 @@
 module Machine = Vmk_hw.Machine
 module Counter = Vmk_trace.Counter
 
+type watched = {
+  mutable streak : int;  (** Consecutive respawns since the last healthy ping. *)
+  mutable not_before : int64;  (** Backoff gate for the next respawn. *)
+  mutable abandoned : bool;
+}
+
 type t = {
   stop : bool ref;
   mutable respawns : (string * int64) list;
+  mutable given_up : string list;
 }
 
-let create () = { stop = ref false; respawns = [] }
+let create () = { stop = ref false; respawns = []; given_up = [] }
 let stop t = t.stop := true
 let respawns t = List.rev t.respawns
+let given_up t = List.rev t.given_up
 
 let ping entry ~timeout =
   try
@@ -18,25 +26,59 @@ let ping entry ~timeout =
     reply.Sysif.label = Proto.ok
   with Sysif.Ipc_error _ -> false
 
-let body mach t ~period ~ping_timeout services () =
+let default_give_up = 8
+
+let body mach t ~period ~ping_timeout ?(backoff = period) ?(give_up = default_give_up)
+    services () =
+  if give_up < 1 then invalid_arg "Watchdog.body: give_up < 1";
+  if backoff < 0L then invalid_arg "Watchdog.body: backoff < 0";
   let counters = mach.Machine.counters in
+  let watched =
+    List.map
+      (fun svc -> (svc, { streak = 0; not_before = 0L; abandoned = false }))
+      services
+  in
   let rec loop () =
     if !(t.stop) then Sysif.exit ()
     else begin
       List.iter
-        (fun (entry, respawn) ->
-          if not (ping entry ~timeout:ping_timeout) then begin
-            (* A wedged-but-alive server still holds buffers and its
-               interrupt line; unwind-kill it before handing the name to
-               a replacement. Killing a corpse is a harmless no-op. *)
-            (try Sysif.kill_thread (Svc.tid entry)
-             with Sysif.Ipc_error _ -> ());
-            let tid = Sysif.spawn (respawn ()) in
-            Svc.rebind entry tid;
-            t.respawns <- (entry.Svc.name, Machine.now mach) :: t.respawns;
-            Counter.incr counters "uk.watchdog.respawn"
-          end)
-        services;
+        (fun ((entry, respawn), w) ->
+          if not w.abandoned then
+            if ping entry ~timeout:ping_timeout then begin
+              w.streak <- 0;
+              w.not_before <- 0L
+            end
+            else if Machine.now mach < w.not_before then
+              (* Crash-looping: wait out the exponential backoff rather
+                 than burning the machine on doomed rebuilds. *)
+              ()
+            else if w.streak >= give_up then begin
+              w.abandoned <- true;
+              t.given_up <- entry.Svc.name :: t.given_up;
+              Counter.incr counters "uk.watchdog.giveup";
+              Logs.warn (fun m ->
+                  m "watchdog: giving up on %s after %d consecutive respawns"
+                    entry.Svc.name w.streak)
+            end
+            else begin
+              (* A wedged-but-alive server still holds buffers and its
+                 interrupt line; unwind-kill it before handing the name to
+                 a replacement. Killing a corpse is a harmless no-op. *)
+              (try Sysif.kill_thread (Svc.tid entry)
+               with Sysif.Ipc_error _ -> ());
+              let tid = Sysif.spawn (respawn ()) in
+              Svc.rebind entry tid;
+              t.respawns <- (entry.Svc.name, Machine.now mach) :: t.respawns;
+              Counter.incr counters "uk.watchdog.respawn";
+              w.streak <- w.streak + 1;
+              (* First respawn is immediate (streak was 0); each further
+                 one without an intervening healthy ping doubles the
+                 wait. *)
+              w.not_before <-
+                Int64.add (Machine.now mach)
+                  (Int64.mul backoff (Int64.shift_left 1L (w.streak - 1)))
+            end)
+        watched;
       Sysif.sleep period;
       loop ()
     end

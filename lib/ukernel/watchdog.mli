@@ -6,7 +6,13 @@
     replacement is spawned from its factory; the {!Svc.entry} is rebound
     so clients that re-read the entry find the new thread. This is the
     paper's §3 claim in action: because drivers are ordinary threads,
-    restarting one is an ordinary spawn — no reboot, no kernel change. *)
+    restarting one is an ordinary spawn — no reboot, no kernel change.
+
+    Respawning is not unconditional (E18): consecutive respawns of the
+    same service without an intervening healthy ping back off
+    exponentially, and after a cap the watchdog gives up on the service
+    — a deterministically crashing driver degrades into a dead service
+    instead of burning the machine on doomed rebuilds forever. *)
 
 type t
 
@@ -19,14 +25,30 @@ val stop : t -> unit
 val respawns : t -> (string * int64) list
 (** [(service name, virtual time)] of every respawn, oldest first. *)
 
+val given_up : t -> string list
+(** Services abandoned after the give-up cap, oldest first. *)
+
+val default_give_up : int
+(** [8] consecutive respawns. *)
+
 val body :
   Vmk_hw.Machine.t ->
   t ->
   period:int64 ->
   ping_timeout:int64 ->
+  ?backoff:int64 ->
+  ?give_up:int ->
   (Svc.entry * (unit -> Sysif.spawn_spec)) list ->
   unit ->
   unit
 (** Thread body. [services] pairs each registry entry with a factory
-    producing the spawn spec for a replacement instance. Counter:
-    ["uk.watchdog.respawn"]. *)
+    producing the spawn spec for a replacement instance.
+
+    The first respawn after a healthy ping is immediate; the [n]-th
+    consecutive one waits [backoff * 2^(n-1)] cycles (default
+    [backoff = period], so isolated failures behave as before), and
+    after [give_up] consecutive respawns (default {!default_give_up})
+    the service is abandoned. A healthy ping resets both the streak and
+    the backoff gate. Counters: ["uk.watchdog.respawn"],
+    ["uk.watchdog.giveup"].
+    @raise Invalid_argument if [give_up < 1] or [backoff < 0]. *)

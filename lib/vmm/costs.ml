@@ -7,6 +7,7 @@ let pt_validate = 150
 let shadow_sync = 420
 let syscall_bounce = 380
 let irq_route = 170
+let domain_build = 5_000
 
 let icache_regions =
   [
@@ -20,6 +21,7 @@ let icache_regions =
     ("vmm.hcall.memory", 11);
     ("vmm.hcall.irq", 8);
     ("vmm.hcall.syscall_bounce", 13);
+    ("vmm.hcall.domctl", 14);
   ]
 
 let icache_lines_for region =

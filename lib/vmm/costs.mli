@@ -38,6 +38,12 @@ val syscall_bounce : int
 val irq_route : int
 (** Routing a physical IRQ to a driver domain's port. *)
 
+val domain_build : int
+(** Toolstack-requested domain construction ([H_dom_create]): allocating
+    the domain structure, its address space and its event-channel table.
+    Dwarfed by what a real builder pays to load a kernel image, but
+    enough that restarting a driver domain is visibly not free. *)
+
 val icache_regions : (string * int) list
 (** [(region, lines)] touched by each primitive path (experiment E9);
     regions are disjoint — that is the point. *)

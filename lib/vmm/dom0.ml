@@ -1,122 +1,12 @@
 module Machine = Vmk_hw.Machine
-module Disk = Vmk_hw.Disk
 
 let name = "dom0"
 
+(* Since E18 the backend machinery lives in {!Driver_dom.service_body},
+   shared with the disaggregated driver domains; the monolithic Dom0 is
+   the configuration that runs both device classes under one roof (and
+   one cycle account, and one blast radius). *)
 let body mach ?connect_timeout ?generation ?net_admit ?net_napi ?net_poll
     ?(net = []) ?(blk = []) () =
-  let mux = Evt_mux.create () in
-  (* A channel whose frontend never shows up used to hang Dom0 in the
-     handshake forever; with a timeout it is logged and dropped, and
-     Dom0 serves whoever did connect. *)
-  let dropped kind chan_key =
-    Logs.warn (fun m ->
-        m "dom0: %s frontend never connected on %s; dropping channel" kind
-          chan_key);
-    Vmk_trace.Counter.incr mach.Machine.counters "dom0.connect_dropped";
-    None
-  in
-  let netbacks =
-    List.filter_map
-      (fun chan ->
-        match
-          Netback.connect_opt ?timeout:connect_timeout ?generation
-            ?admit:net_admit ?napi:net_napi chan mach ()
-        with
-        | Some back -> Some back
-        | None -> dropped "net" chan.Net_channel.key)
-      net
-  in
-  let blkbacks =
-    List.filter_map
-      (fun chan ->
-        match
-          Blkback.connect_opt ?timeout:connect_timeout ?generation chan mach ()
-        with
-        | Some back -> Some back
-        | None -> dropped "blk" chan.Blk_channel.key)
-      blk
-  in
-  let handle_disk () =
-    let rec drain () =
-      match Disk.completed mach.Machine.disk with
-      | Some request ->
-          ignore (List.exists (fun b -> Blkback.try_complete b request) blkbacks);
-          drain ()
-      | None -> ()
-    in
-    drain ()
-  in
-  (* With one frontend the backend drains the NIC itself; with several,
-     Dom0 drains and demultiplexes by the packet tag's key. *)
-  let handle_nic_all () =
-    match netbacks with
-    | [ only ] -> Netback.handle_nic only
-    | backs ->
-        let route_rx (ev : Vmk_hw.Nic.rx_event) =
-          let key = ev.Vmk_hw.Nic.tag / 1_000_000 in
-          match List.find_opt (fun b -> Netback.demux_key b = key) backs with
-          | Some back -> Netback.deliver_rx back ev
-          | None ->
-              Vmk_trace.Counter.incr mach.Machine.counters "dom0.rx_no_route"
-        in
-        let rec drain_rx () =
-          match Vmk_hw.Nic.rx_ready mach.Machine.nic with
-          | Some ev ->
-              route_rx ev;
-              drain_rx ()
-          | None -> ()
-        in
-        let rec drain_tx () =
-          match Vmk_hw.Nic.tx_done mach.Machine.nic with
-          | Some (frame, _len) ->
-              ignore (List.exists (fun b -> Netback.complete_tx b frame) backs);
-              drain_tx ()
-          | None -> ()
-        in
-        drain_rx ();
-        drain_tx ();
-        List.iter Netback.flush backs
-  in
-  (* Polling-only mode: never bind the NIC interrupt — mask the line so
-     the hypervisor's IRQ router has nothing to charge — and service the
-     device on the serve loop's block timeout instead. *)
-  let polling = net <> [] && net_poll <> None in
-  if polling then Vmk_hw.Irq.mask mach.Machine.irq Machine.nic_irq
-  else if net <> [] then begin
-    let nic_port = Hcall.irq_bind Machine.nic_irq in
-    Evt_mux.on mux nic_port (fun () ->
-        Vmk_trace.Counter.incr mach.Machine.counters "dom0.nic_events";
-        handle_nic_all ())
-  end;
-  if blk <> [] then begin
-    let disk_port = Hcall.irq_bind Machine.disk_irq in
-    Evt_mux.on mux disk_port handle_disk
-  end;
-  List.iter
-    (fun back -> Evt_mux.on mux (Netback.port back) (fun () -> Netback.handle_event back))
-    netbacks;
-  List.iter
-    (fun back -> Evt_mux.on mux (Blkback.port back) (fun () -> Blkback.handle_event back))
-    blkbacks;
-  (* Catch anything posted before the handshakes finished. *)
-  List.iter Netback.handle_event netbacks;
-  if netbacks <> [] then handle_nic_all ();
-  List.iter Blkback.handle_event blkbacks;
-  handle_disk ();
-  let rec serve () =
-    (match Hcall.block ?timeout:net_poll () with
-    | Hcall.Events ports ->
-        Vmk_trace.Counter.add mach.Machine.counters "dom0.wakeups" 1;
-        Vmk_trace.Counter.add mach.Machine.counters "dom0.events"
-          (List.length ports);
-        Evt_mux.dispatch mux ports;
-        if polling then handle_nic_all ()
-    | Hcall.Timed_out ->
-        if polling then begin
-          Vmk_trace.Counter.incr mach.Machine.counters "dom0.poll_ticks";
-          handle_nic_all ()
-        end);
-    serve ()
-  in
-  serve ()
+  Driver_dom.service_body mach ~prefix:name ?connect_timeout ?generation
+    ?net_admit ?net_napi ?net_poll ~net ~blk ()

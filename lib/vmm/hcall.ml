@@ -40,6 +40,13 @@ type hcall =
   | H_xs_read of string
   | H_xs_rm of string
   | H_xs_watch of string
+  | H_dom_create of {
+      cd_name : string;
+      cd_privileged : bool;
+      cd_weight : int;
+      cd_body : unit -> unit;
+    }
+  | H_dom_alive of domid
   | H_exit
 
 type error =
@@ -59,6 +66,7 @@ type hreply =
   | R_block of block_result
   | R_syscall of syscall_path
   | R_xs of string option
+  | R_bool of bool
   | R_error of error
 
 type _ Effect.t += Invoke : hcall -> hreply Effect.t
@@ -72,14 +80,14 @@ let expect_unit = function
   | R_unit -> ()
   | R_error e -> raise (Hcall_error e)
   | R_domid _ | R_port _ | R_gref _ | R_frames _ | R_block _ | R_syscall _
-  | R_xs _ ->
+  | R_xs _ | R_bool _ ->
       raise (Hcall_error (Not_virtualisable "reply"))
 
 let expect_port = function
   | R_port p -> p
   | R_error e -> raise (Hcall_error e)
   | R_unit | R_domid _ | R_gref _ | R_frames _ | R_block _ | R_syscall _
-  | R_xs _ ->
+  | R_xs _ | R_bool _ ->
       raise (Hcall_error (Not_virtualisable "reply"))
 
 let burn n = expect_unit (invoke (H_burn n))
@@ -174,6 +182,22 @@ let xs_read path =
 
 let xs_rm path = expect_unit (invoke (H_xs_rm path))
 let xs_watch path = expect_port (invoke (H_xs_watch path))
+
+let dom_create ~name ?(privileged = false) ?(weight = 256) body =
+  match
+    invoke
+      (H_dom_create
+         { cd_name = name; cd_privileged = privileged; cd_weight = weight; cd_body = body })
+  with
+  | R_domid d -> d
+  | R_error e -> raise (Hcall_error e)
+  | _ -> raise (Hcall_error (Not_virtualisable "reply"))
+
+let dom_alive domid =
+  match invoke (H_dom_alive domid) with
+  | R_bool b -> b
+  | R_error e -> raise (Hcall_error e)
+  | _ -> raise (Hcall_error (Not_virtualisable "reply"))
 
 let xs_wait_for ?timeout path =
   let _port = xs_watch path in

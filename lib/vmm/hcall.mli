@@ -90,6 +90,18 @@ type hcall =
       (** Register a watch on a path prefix; returns a fresh local port
           that goes pending whenever anything under the prefix is
           written. *)
+  | H_dom_create of {
+      cd_name : string;
+      cd_privileged : bool;
+      cd_weight : int;
+      cd_body : unit -> unit;
+    }
+      (** Toolstack primitive (DOMCTL_createdomain + image build in one):
+          allocate a fresh domain running [cd_body]. Privileged callers
+          only — this is how the thin Dom0 of E18 constructs its driver
+          domains instead of hosting their drivers itself. *)
+  | H_dom_alive of domid
+      (** Toolstack liveness probe: is the domain still undestroyed? *)
   | H_exit
 
 type error =
@@ -109,6 +121,7 @@ type hreply =
   | R_block of block_result
   | R_syscall of syscall_path
   | R_xs of string option
+  | R_bool of bool
   | R_error of error
 
 type _ Effect.t += Invoke : hcall -> hreply Effect.t
@@ -153,6 +166,15 @@ val xs_write : path:string -> value:string -> unit
 val xs_read : string -> string option
 val xs_rm : string -> unit
 val xs_watch : string -> port
+
+val dom_create :
+  name:string -> ?privileged:bool -> ?weight:int -> (unit -> unit) -> domid
+(** Build a domain (privileged callers only; defaults: unprivileged,
+    weight 256). Returns the new domid.
+    @raise Hcall_error [Permission_denied] from an unprivileged domain. *)
+
+val dom_alive : domid -> bool
+(** Liveness probe for a domain this toolstack built. *)
 
 val xs_wait_for : ?timeout:int64 -> string -> string option
 (** Watch a path and block until it has a value (or the optional timeout

@@ -461,6 +461,28 @@ let kill_domain_internal h (d : domain) =
     List.iter (Hashtbl.remove h.irq_routes) lines;
     h.xs_watches <-
       List.filter (fun (_, domid, _) -> domid <> d.domid) h.xs_watches;
+    (* Grant-table ownership hygiene: a destroyed domain must not linger
+       in the grant machinery. Mappings it still held of other domains'
+       grants are force-unmapped so the granters can revoke and re-grant
+       under the next backend generation (before E18 these entries leaked
+       and the frontend's revoke failed forever with Permission_denied);
+       its own table dies with it. *)
+    let orphans = ref 0 in
+    Hashtbl.iter
+      (fun _ peer ->
+        if peer.domid <> d.domid then
+          Hashtbl.iter
+            (fun _ entry ->
+              if List.mem d.domid entry.g_mapped_by then begin
+                entry.g_mapped_by <-
+                  List.filter (fun id -> id <> d.domid) entry.g_mapped_by;
+                incr orphans
+              end)
+            peer.grants)
+      h.domains;
+    if !orphans > 0 then
+      Counter.add h.mach.Machine.counters "vmm.grant_orphan_unmap" !orphans;
+    Hashtbl.reset d.grants;
     Counter.incr h.mach.Machine.counters "vmm.domain_destroy"
   end
 
@@ -700,6 +722,24 @@ let handle_hypercall h (d : domain) call =
       caller_charged (fun () ->
           hypercall_overhead h "vmm.hcall.evtchn";
           ready h d (R_port (do_xs_watch h d prefix)))
+  | H_dom_create { cd_name; cd_privileged; cd_weight; cd_body } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else if cd_weight < 1 then
+            ready h d (R_error (Not_virtualisable "weight"))
+          else begin
+            vburn h Costs.domain_build;
+            let domid =
+              create_domain h ~name:cd_name ~privileged:cd_privileged
+                ~weight:cd_weight cd_body
+            in
+            ready h d (R_domid domid)
+          end)
+  | H_dom_alive domid ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          ready h d (R_bool (is_alive h domid)))
   | H_exit -> kill_domain_internal h d
 
 (* --- fibers --- *)

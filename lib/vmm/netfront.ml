@@ -271,6 +271,17 @@ let reconnect t ?timeout ?(rx_buffers = 32) () =
               t.chan.Net_channel.front_dom <- Some my_dom;
               t.chan.Net_channel.offer_port <- Some offer;
               t.chan.Net_channel.front_port <- Some offer;
+              t.backend <- backend;
+              t.my_port <- offer;
+              t.generation <- g;
+              t.dead <- false;
+              (* Fill the rx ring before announcing the frontend: the
+                 instant the backend's handshake completes it drains the
+                 NIC backlog that piled up during the outage, and
+                 buffers posted after that drain would miss it — real
+                 netfront likewise enters Connected only with a full rx
+                 ring. *)
+              List.iter (post_rx_buffer t) (Hcall.alloc_frames rx_buffers);
               Hcall.xs_write ~path:(sub "frontend-dom")
                 ~value:(string_of_int my_dom);
               Hcall.xs_write ~path:(sub "frontend-port")
@@ -278,11 +289,6 @@ let reconnect t ?timeout ?(rx_buffers = 32) () =
               match Hcall.xs_wait_for ?timeout (sub "backend-port") with
               | None -> false
               | Some _ ->
-                  t.backend <- backend;
-                  t.my_port <- offer;
-                  t.generation <- g;
-                  t.dead <- false;
-                  List.iter (post_rx_buffer t) (Hcall.alloc_frames rx_buffers);
                   notify t;
                   not t.dead)
           | exception Hcall.Hcall_error _ -> false))

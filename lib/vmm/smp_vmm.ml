@@ -3,7 +3,7 @@ module Arch = Vmk_hw.Arch
 module Engine = Vmk_sim.Engine
 module Smp = Vmk_smp.Smp
 
-type backend = Single_dom0 | Driver_domains
+type backend = Single_dom0 | Driver_domains | Fixed_domains of int
 
 type config = {
   cores : int;
@@ -58,6 +58,9 @@ let run ?seed cfg =
      domain on core 0 (guests on the remaining cores); Driver_domains
      gives each core its own driver with a private grant table, leaving
      only the frame-ownership check under the shared lock. *)
+  (match cfg.backend with
+  | Fixed_domains n when n < 1 -> invalid_arg "Smp_vmm.run: Fixed_domains"
+  | Fixed_domains _ | Single_dom0 | Driver_domains -> ());
   let ndrv, drv_cpu, guest_cpu =
     match cfg.backend with
     | Single_dom0 ->
@@ -66,6 +69,11 @@ let run ?seed cfg =
           fun i -> if cfg.cores = 1 then 0 else 1 + (i mod (cfg.cores - 1)) )
     | Driver_domains ->
         (cfg.cores, (fun d -> d mod cfg.cores), fun i -> i mod cfg.cores)
+    | Fixed_domains n ->
+        (* E18's deployment shape: a fixed fleet of driver domains
+           (netdrv/blkdrv/bridge-sized) spread round-robin over the
+           cores, however many cores there are. *)
+        (n, (fun d -> d mod cfg.cores), fun i -> i mod cfg.cores)
   in
   let flip_cost = Costs.page_flip_fixed + (2 * arch.Arch.pt_update_cost) in
   let guest_count = Array.init cfg.guests (split_count cfg.packets cfg.guests) in
@@ -73,6 +81,7 @@ let run ?seed cfg =
     match cfg.backend with
     | Single_dom0 -> 0
     | Driver_domains -> guest_cpu i mod ndrv
+    | Fixed_domains _ -> i mod ndrv
   in
   let drv_quota = Array.make ndrv 0 in
   Array.iteri
@@ -99,7 +108,7 @@ let run ?seed cfg =
         let name =
           match cfg.backend with
           | Single_dom0 -> "dom0"
-          | Driver_domains -> Printf.sprintf "drv%d" d
+          | Driver_domains | Fixed_domains _ -> Printf.sprintf "drv%d" d
         in
         Smp.spawn smp ~name ~account:name ~cpu:(drv_cpu d) (fun () ->
             for n = 1 to quota do
@@ -110,7 +119,7 @@ let run ?seed cfg =
                   (* Grant check + page flip, all under the global
                      grant-table lock. *)
                   Smp.locked gnt_lock ~cycles:(Costs.grant_check + flip_cost)
-              | Driver_domains ->
+              | Driver_domains | Fixed_domains _ ->
                   (* Flip under the private per-domain table; only the
                      frame-ownership check hits the shared lock. *)
                   Smp.burn flip_cost;

@@ -12,9 +12,15 @@
     {- [Driver_domains]: a driver domain per core with private grant
        tables; only the frame-ownership check stays under the shared
        lock, so backends scale with cores (contention itemized in
-       ["smp.spin"]).}} *)
+       ["smp.spin"]).}
+    {- [Fixed_domains n]: E18's deployment shape — a fixed fleet of [n]
+       driver domains (the netdrv/blkdrv/bridge split) spread
+       round-robin over the cores, private tables as above. Capacity
+       tops out at [min n cores] busy backends, which is how the
+       disaggregated stack tracks the multi-server L4 curve until the
+       fleet itself saturates.}} *)
 
-type backend = Single_dom0 | Driver_domains
+type backend = Single_dom0 | Driver_domains | Fixed_domains of int
 
 type config = {
   cores : int;
