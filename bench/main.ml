@@ -391,6 +391,12 @@ let entries =
     ( "e18_l4_kill_recover",
       Staged.stage (fun () ->
           ignore (Vmk_core.Exp_e18.l4_run ~quick:true ~kill:true)) );
+    ( "e19_revoke_d1",
+      Staged.stage (fun () -> ignore (Vmk_core.Exp_e19.vmm_chain ~depth:1)) );
+    ( "e19_revoke_d3",
+      Staged.stage (fun () -> ignore (Vmk_core.Exp_e19.vmm_chain ~depth:3)) );
+    ( "e19_revoke_d6",
+      Staged.stage (fun () -> ignore (Vmk_core.Exp_e19.vmm_chain ~depth:6)) );
     ( "a5_contended_io_boosted",
       Staged.stage (fun () ->
           ignore

@@ -62,7 +62,17 @@ let sectors_overlap a b =
    window silently never fires, and overlapping windows on one target
    shadow each other (the device consults the first matching window), so
    both are rejected with a message naming the offender. *)
-let validate plan =
+let validate ?targets plan =
+  (* With a known universe of kill targets, a typo'd or stale name is
+     caught at arm time instead of firing into the void mid-run. *)
+  let check_target what name =
+    match targets with
+    | None -> ()
+    | Some known ->
+        if not (List.mem name known) then
+          invalid "%s targets unknown component %S (known: %s)" what name
+            (String.concat ", " known)
+  in
   let check_span what start stop =
     if Int64.compare stop start < 0 then
       invalid "%s window [%Ld, %Ld) has negative duration" what start stop
@@ -118,7 +128,8 @@ let validate plan =
           ignore line
       | Kill_at { at; target } ->
           if at < 0L then
-            invalid "kill of %s scheduled at negative time %Ld" target at
+            invalid "kill of %s scheduled at negative time %Ld" target at;
+          check_target "kill" target
       | Grant_squeeze { g_start; g_stop; g_cap } ->
           check_span "grant squeeze" g_start g_stop;
           if g_cap < 0 then invalid "grant squeeze cap %d is negative" g_cap;
@@ -146,7 +157,8 @@ let validate plan =
             invalid "memory pressure at negative time %Ld" m_at;
           if m_frames < 0 then
             invalid "memory pressure steals negative frames %d (victim %s)"
-              m_frames m_victim)
+              m_frames m_victim;
+          check_target "memory pressure" m_victim)
     plan
 
 let kill_times t target =
@@ -161,8 +173,8 @@ let first_kill_time t target =
 (* Each fault window gets its own stream split off the machine RNG at arm
    time, in plan order — the draw sequence is a pure function of
    (machine seed, plan). *)
-let arm ?(pressure = fun (_ : pressure) -> ()) plan mach ~kill =
-  validate plan;
+let arm ?(pressure = fun (_ : pressure) -> ()) ?targets plan mach ~kill =
+  validate ?targets plan;
   let engine = mach.Machine.engine in
   let armed = { plan; kills_fired = []; handles = [] } in
   let schedule at f =

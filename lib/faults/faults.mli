@@ -64,14 +64,17 @@ exception Invalid_plan of string
 (** Raised by {!validate} (and so by {!arm}) on a malformed plan, with a
     message naming the offending event. *)
 
-val validate : plan -> unit
+val validate : ?targets:string list -> plan -> unit
 (** Reject malformed plans before they are installed: negative-duration
     windows (which would silently never fire), fault percentages outside
     0..100, negative storm counts/gaps/times, and overlapping fault
     windows on the same target — two disk windows covering intersecting
     time spans and sector ranges, two time-overlapping NIC windows, or
     two overlapping squeezes of the same resource (where the earlier
-    restore would silently lift the later cap).
+    restore would silently lift the later cap). When [targets] names the
+    killable components of the scenario, every [Kill_at] target and
+    [Memory_pressure] victim must appear in it — a typo'd or stale name
+    is caught here instead of firing into the void mid-run.
     @raise Invalid_plan on the first violation found. *)
 
 type armed = {
@@ -85,6 +88,7 @@ type armed = {
 
 val arm :
   ?pressure:(pressure -> unit) ->
+  ?targets:string list ->
   plan ->
   Vmk_hw.Machine.t ->
   kill:(string -> unit) ->
@@ -93,7 +97,7 @@ val arm :
     kills and resource squeezes on the machine's engine. Counters:
     ["faults.irq_storm"], ["faults.kill"], ["faults.grant_squeeze"],
     ["faults.ring_squeeze"], ["faults.mem_pressure"]. [pressure]
-    defaults to a no-op.
+    defaults to a no-op; [targets] is passed through to {!validate}.
     @raise Invalid_plan if the plan fails {!validate}. *)
 
 val disarm : armed -> Vmk_hw.Machine.t -> unit

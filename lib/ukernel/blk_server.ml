@@ -4,6 +4,7 @@ module Disk = Vmk_hw.Disk
 module Engine = Vmk_sim.Engine
 module Counter = Vmk_trace.Counter
 module Overload = Vmk_overload.Overload
+module Cap = Vmk_cap.Cap
 
 let account = "drv.blk"
 
@@ -22,6 +23,25 @@ let body mach ?(buffers = 8) ?admit () =
       free
   done;
   let inflight : (int, inflight) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-client sessions off a service root cap (E19): the first request
+     hands the client a derived capability; later requests are validated
+     against it, so revoking the chain (or the client's death) cuts the
+     client off. *)
+  let svc = Sysif.cap_mint ~obj:0xB19 ~rights:Cap.r_full in
+  let sessions : (Sysif.tid, int) Hashtbl.t = Hashtbl.create 16 in
+  let session_ok client =
+    match Hashtbl.find_opt sessions client with
+    | Some handle -> Sysif.cap_check ~subject:client ~handle ~need:Cap.r_write
+    | None -> (
+        match
+          Sysif.cap_derive ~handle:svc ~to_:client
+            ~rights:(Cap.r_read lor Cap.r_write)
+        with
+        | h ->
+            Hashtbl.replace sessions client h;
+            true
+        | exception Sysif.Ipc_error _ -> false)
+  in
   Sysif.irq_attach Machine.disk_irq;
   let handle_completion () =
     let rec drain () =
@@ -68,6 +88,10 @@ let body mach ?(buffers = 8) ?admit () =
       Counter.incr mach.Machine.counters "drv.blk.shed";
       Counter.incr mach.Machine.counters Overload.shed_counter;
       reply_safely client (Sysif.msg Proto.busy)
+    end
+    else if not (session_ok client) then begin
+      Counter.incr mach.Machine.counters "drv.blk.denied";
+      reply_safely client (Sysif.msg Proto.error)
     end
     else
     let w = Sysif.words m in

@@ -10,6 +10,7 @@ module Cache = Vmk_hw.Cache
 module Accounts = Vmk_trace.Accounts
 module Counter = Vmk_trace.Counter
 module Engine = Vmk_sim.Engine
+module Cap = Vmk_cap.Cap
 
 let priorities = 8
 let default_priority = 4
@@ -60,6 +61,7 @@ type t = {
   spaces : (int, Page_table.t) Hashtbl.t;
   alloc_ptr : (int, int ref) Hashtbl.t;
   mapdb : Mapdb.t;
+  caps : Cap.t;
   queues : tcb Queue.t array;
   irq_handlers : (int, tid) Hashtbl.t;
   mutable next_tid : int;
@@ -71,6 +73,22 @@ type stop_reason = Idle | Condition | Dispatch_limit
 
 let machine t = t.mach
 let mapdb t = t.mapdb
+let caps t = t.caps
+
+(* Capability object namespaces (E19). Page objects encode the mapping
+   identity so revoking a page cap can find its Mapdb node; user objects
+   (service sessions minted via Cap_mint) are tagged apart so the two can
+   never collide. *)
+let page_obj_tag = 1 lsl 60
+let user_obj_tag = 1 lsl 56
+let page_obj ~asid ~vpn = page_obj_tag lor (asid lsl 24) lor vpn
+let user_obj obj = user_obj_tag lor (obj land 0xFFFF_FFFF)
+
+let decode_page_obj obj =
+  if obj land page_obj_tag = 0 then None
+  else
+    let v = obj land lnot page_obj_tag in
+    Some (v lsr 24, v land 0xFF_FFFF)
 
 (* The first user page handed out by Alloc_pages; low pages are "text". *)
 let alloc_base_vpn = 0x100
@@ -100,6 +118,10 @@ let create mach =
     spaces;
     alloc_ptr = Hashtbl.create 16;
     mapdb = Mapdb.create ~install ~remove;
+    caps =
+      Cap.create ~counters:mach.Machine.counters
+        ~burn:(fun c -> Machine.burn mach c)
+        ();
     queues = Array.init priorities (fun _ -> Queue.create ());
     irq_handlers = Hashtbl.create 8;
     next_tid = 1;
@@ -140,6 +162,15 @@ let kcharged k f =
   Accounts.with_account k.mach.Machine.accounts kernel_account f
 
 let kburn k cycles = Machine.burn k.mach cycles
+
+(* Revocation hook: as each page capability dies, remove exactly its
+   Mapdb node (the cap layer drives the recursion in postorder, so a
+   node's derived mappings are already gone when its own cap fires).
+   Non-page caps (service sessions) need no mechanism teardown. *)
+let cap_teardown k (info : Cap.info) ~depth:_ =
+  match decode_page_obj info.Cap.i_obj with
+  | None -> ()
+  | Some (asid, vpn) -> ignore (Mapdb.remove_single k.mapdb ~asid ~vpn)
 
 let fresh_space k =
   let asid = k.next_asid in
@@ -219,13 +250,54 @@ let apply_map_items k ~(src : tcb) ~(dst : tcb) ~window msg =
         let dst_vpn =
           match window with `Identity -> src_vpn | `At base -> base + i
         in
-        match
-          Mapdb.map k.mapdb ~src_asid:src.asid ~src_vpn ~dst_asid:dst.asid
-            ~dst_vpn ~writable:fpage.writable ~grant
-        with
-        | Ok () -> Counter.incr counters "uk.ipc.map_pages"
-        | Error (`Source_not_mapped | `Dest_occupied | `Self_map) ->
-            Counter.incr counters "uk.ipc.map_skipped"
+        (* Rights gate (E19): delegating a page requires holding its
+           capability with the map right. *)
+        let src_cap =
+          match
+            Cap.find_obj k.caps ~obj:(page_obj ~asid:src.asid ~vpn:src_vpn)
+          with
+          | Some info when info.Cap.i_dom = src.asid -> Some info
+          | Some _ | None -> None
+        in
+        let denied =
+          match src_cap with
+          | Some info ->
+              not
+                (Cap.check k.caps ~dom:src.asid ~handle:info.Cap.i_handle
+                   ~need:Cap.r_map)
+          | None -> false
+        in
+        if denied then Counter.incr counters "uk.ipc.map_denied"
+        else
+          match
+            Mapdb.map k.mapdb ~src_asid:src.asid ~src_vpn ~dst_asid:dst.asid
+              ~dst_vpn ~writable:fpage.writable ~grant
+          with
+          | Ok () ->
+              Counter.incr counters "uk.ipc.map_pages";
+              (* Mirror the delegation in the cap layer: the receiver's
+                 page cap is a tree child of the sender's (grant moves
+                 the sender's cap instead, as in the Mapdb). *)
+              (match src_cap with
+              | None -> ()
+              | Some info ->
+                  let dst_obj = page_obj ~asid:dst.asid ~vpn:dst_vpn in
+                  if grant then
+                    ignore
+                      (Cap.grant k.caps ~dom:src.asid
+                         ~handle:info.Cap.i_handle ~to_dom:dst.asid
+                         ~obj:dst_obj)
+                  else
+                    let rights =
+                      if fpage.writable then Cap.r_full
+                      else Cap.r_full land lnot Cap.r_write
+                    in
+                    ignore
+                      (Cap.derive k.caps ~dom:src.asid
+                         ~handle:info.Cap.i_handle ~to_dom:dst.asid
+                         ~obj:dst_obj ~rights))
+          | Error (`Source_not_mapped | `Dest_occupied | `Self_map) ->
+              Counter.incr counters "uk.ipc.map_skipped"
       done)
     (map_items msg)
 
@@ -459,8 +531,14 @@ let terminate k (tcb : tcb) =
           acc || (o != tcb && o.state <> Dead && o.asid = tcb.asid))
         k.tcbs false
     in
-    if not space_alive then
+    if not space_alive then begin
+      (* Space death revokes every capability the space holds — and,
+         through the derivation trees, everything delegated onward from
+         them (mappings in other spaces die via the teardown hook). Any
+         cap-less leftovers fall to the raw space sweep. *)
+      ignore (Cap.revoke_dom k.caps ~dom:tcb.asid ~on_revoke:(cap_teardown k));
       ignore (Mapdb.unmap_space k.mapdb ~asid:tcb.asid)
+    end
   end
 
 let kill k tid =
@@ -540,8 +618,15 @@ let handle_alloc_pages k (tcb : tcb) n =
             ptr := base_vpn + n;
             List.iteri
               (fun i frame ->
-                Mapdb.insert_root k.mapdb ~asid:tcb.asid ~vpn:(base_vpn + i)
-                  frame ~writable:true)
+                let vpn = base_vpn + i in
+                Mapdb.insert_root k.mapdb ~asid:tcb.asid ~vpn frame
+                  ~writable:true;
+                (* Fresh memory carries a full-rights root capability;
+                   every later delegation derives from it. *)
+                ignore
+                  (Cap.mint k.caps ~dom:tcb.asid
+                     ~obj:(page_obj ~asid:tcb.asid ~vpn)
+                     ~rights:Cap.r_full))
               frames;
             ready k tcb (R_fpage { base_vpn; pages = n; writable = true })
         | exception Frame.Out_of_frames ->
@@ -592,12 +677,25 @@ let handle_syscall k (tcb : tcb) call =
           | Touch { addr; len; write } ->
               run_touch k tcb { t_addr = addr; t_len = len; t_write = write; fault_vpn = -1 }
           | Unmap fpage ->
+              (* Revocation is cap-driven (E19): the page's capability
+                 subtree is torn down and each dying cap removes its own
+                 mapping. Pages without a cap (none in practice — every
+                 root comes from Alloc_pages) fall back to the raw walk. *)
               let removed = ref 0 in
               for i = 0 to fpage.pages - 1 do
-                removed :=
-                  !removed
-                  + Mapdb.unmap k.mapdb ~asid:tcb.asid ~vpn:(fpage.base_vpn + i)
-                      ~self:false
+                let vpn = fpage.base_vpn + i in
+                match Cap.find_obj k.caps ~obj:(page_obj ~asid:tcb.asid ~vpn) with
+                | Some info when info.Cap.i_dom = tcb.asid -> (
+                    match
+                      Cap.revoke k.caps ~dom:tcb.asid
+                        ~handle:info.Cap.i_handle ~self:false
+                        ~on_revoke:(cap_teardown k)
+                    with
+                    | Ok stats -> removed := !removed + stats.Cap.r_removed
+                    | Error (`No_cap | `Denied) -> ())
+                | Some _ | None ->
+                    removed :=
+                      !removed + Mapdb.unmap k.mapdb ~asid:tcb.asid ~vpn ~self:false
               done;
               Counter.add k.mach.Machine.counters "uk.unmap.pages" !removed;
               ready k tcb R_unit
@@ -670,7 +768,49 @@ let handle_syscall k (tcb : tcb) call =
               else begin
                 inject_kill k victim;
                 ready k tcb R_unit
-              end)
+              end
+          | Cap_mint { obj; rights } ->
+              let handle =
+                Cap.mint k.caps ~dom:tcb.asid ~obj:(user_obj obj)
+                  ~rights:(rights land Cap.r_full)
+              in
+              ready k tcb (R_tid handle)
+          | Cap_derive { handle; to_; rights } -> (
+              match find_alive k to_ with
+              | None -> ready k tcb (R_error Dead_partner)
+              | Some dst -> (
+                  match Cap.lookup k.caps ~dom:tcb.asid ~handle with
+                  | None -> ready k tcb (R_error Not_permitted)
+                  | Some parent -> (
+                      match
+                        Cap.derive k.caps ~dom:tcb.asid ~handle
+                          ~to_dom:dst.asid ~obj:parent.Cap.i_obj ~rights
+                      with
+                      | Ok h -> ready k tcb (R_tid h)
+                      | Error (`No_cap | `Denied) ->
+                          ready k tcb (R_error Not_permitted))))
+          | Cap_revoke { handle; self } -> (
+              match
+                Cap.revoke k.caps ~dom:tcb.asid ~handle ~self
+                  ~on_revoke:(cap_teardown k)
+              with
+              | Ok stats -> ready k tcb (R_tid stats.Cap.r_removed)
+              | Error (`No_cap | `Denied) ->
+                  ready k tcb (R_error Not_permitted))
+          | Cap_check { subject; handle; need } -> (
+              match find_alive k subject with
+              | None -> ready k tcb (R_error Not_permitted)
+              | Some s ->
+                  if Cap.check k.caps ~dom:s.asid ~handle ~need then
+                    ready k tcb R_unit
+                  else ready k tcb (R_error Not_permitted))
+          | Cap_lookup { vpn } -> (
+              match
+                Cap.find_obj k.caps ~obj:(page_obj ~asid:tcb.asid ~vpn)
+              with
+              | Some info when info.Cap.i_dom = tcb.asid ->
+                  ready k tcb (R_tid info.Cap.i_handle)
+              | Some _ | None -> ready k tcb (R_error Not_permitted)))
 
 (* --- Fibers --- *)
 

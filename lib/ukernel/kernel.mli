@@ -78,4 +78,12 @@ val thread_count : t -> int
 (** Threads that are not dead. *)
 
 val mapdb : t -> Mapdb.t
+
+val caps : t -> Vmk_cap.Cap.t
+(** The kernel's capability tables (E19): every page handed out by
+    [Alloc_pages] carries a root cap, IPC map/grant items derive child
+    caps in the receiver's space, and revocation (the [Unmap] and
+    [Cap_revoke] syscalls, space death) tears mappings down through the
+    derivation tree. *)
+
 val space_of : t -> Sysif.tid -> Vmk_hw.Page_table.t option

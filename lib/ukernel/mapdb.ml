@@ -88,6 +88,21 @@ let unmap t ~asid ~vpn ~self =
       end;
       !count
 
+(* Non-recursive removal of exactly one mapping, for callers that drive
+   the recursion themselves (the E19 capability layer tears down a
+   derivation subtree in postorder and removes each page as its cap
+   dies). Children that still exist are orphaned, not revoked. *)
+let remove_single t ~asid ~vpn =
+  match Hashtbl.find_opt t.nodes (asid, vpn) with
+  | None -> false
+  | Some node ->
+      detach_from_parent node;
+      List.iter (fun c -> c.parent <- None) node.children;
+      node.children <- [];
+      Hashtbl.remove t.nodes (asid, vpn);
+      t.remove ~asid ~vpn;
+      true
+
 let unmap_space t ~asid =
   let victims =
     Hashtbl.fold

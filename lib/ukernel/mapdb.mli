@@ -39,6 +39,12 @@ val unmap : t -> asid:int -> vpn:int -> self:bool -> int
     the mapping itself. Returns the number of mappings removed. Unknown
     pages revoke nothing. *)
 
+val remove_single : t -> asid:int -> vpn:int -> bool
+(** Remove exactly the mapping at [(asid, vpn)] — no recursion; surviving
+    children are orphaned into roots. For callers that drive the teardown
+    order themselves (capability revocation, E19). Returns whether a
+    mapping was removed. *)
+
 val unmap_space : t -> asid:int -> int
 (** Remove every mapping in the given space (space destruction), revoking
     descendants mapped onward from it. Returns mappings removed. *)

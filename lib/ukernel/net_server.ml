@@ -6,6 +6,7 @@ module Engine = Vmk_sim.Engine
 module Counter = Vmk_trace.Counter
 module Overload = Vmk_overload.Overload
 module Vnet = Vmk_vnet.Vnet
+module Cap = Vmk_cap.Cap
 
 let account = "drv.net"
 
@@ -29,6 +30,12 @@ type broker = {
   flows : Vnet.Flow_cache.t;
   registry : (int, Sysif.tid) Hashtbl.t;  (** port -> guest kernel *)
   rev : (Sysif.tid, int) Hashtbl.t;
+  svc : int;  (** Root service capability handle (E19). *)
+  self : Sysif.tid;
+  sessions : (int, int) Hashtbl.t;
+      (** port -> broker-side session cap; revoking it severs the port's
+          whole delegation chain. *)
+  client_caps : (int, int) Hashtbl.t;  (** port -> client-held session cap *)
 }
 
 type state = {
@@ -253,9 +260,51 @@ let handle_client st client (m : Sysif.msg) =
           Vnet.Mac_table.learn vb.mac
             ~now:(Engine.now st.mach.Machine.engine)
             ~mac:port ~port;
+          (* Session caps (E19): a broker-side cap derived from the
+             service root, and a client-side cap derived from it in turn
+             — revoking the broker-side cap severs the whole port. A
+             re-attach (guest-kernel restart) replaces the old chain. *)
+          (match Hashtbl.find_opt vb.sessions port with
+          | Some old -> (
+              try ignore (Sysif.cap_revoke ~handle:old ~self:true)
+              with Sysif.Ipc_error _ -> ())
+          | None -> ());
+          let mine =
+            Sysif.cap_derive ~handle:vb.svc ~to_:vb.self ~rights:Cap.r_full
+          in
+          let theirs =
+            Sysif.cap_derive ~handle:mine ~to_:client
+              ~rights:(Cap.r_read lor Cap.r_write)
+          in
+          Hashtbl.replace vb.sessions port mine;
+          Hashtbl.replace vb.client_caps port theirs;
           Counter.incr st.mach.Machine.counters "drv.net.vnet_attach";
-          reply_safely client (Sysif.msg Proto.ok)
+          reply_safely client
+            (Sysif.msg Proto.ok ~items:[ Sysif.Words [| theirs |] ])
         end
+  end
+  else if m.Sysif.label = Proto.vnet_revoke then begin
+    match st.vnet with
+    | None -> reply_safely client (Sysif.msg Proto.error)
+    | Some vb -> (
+        let w = Sysif.words m in
+        let port = if Array.length w > 0 then w.(0) else 0 in
+        match Hashtbl.find_opt vb.sessions port with
+        | None -> reply_safely client (Sysif.msg Proto.error)
+        | Some mine ->
+            let removed =
+              try Sysif.cap_revoke ~handle:mine ~self:true
+              with Sysif.Ipc_error _ -> 0
+            in
+            Hashtbl.remove vb.sessions port;
+            Hashtbl.remove vb.client_caps port;
+            (match Hashtbl.find_opt vb.registry port with
+            | Some tid -> Hashtbl.remove vb.rev tid
+            | None -> ());
+            Hashtbl.remove vb.registry port;
+            Counter.incr st.mach.Machine.counters "drv.net.vnet_revoke";
+            reply_safely client
+              (Sysif.msg Proto.ok ~items:[ Sysif.Words [| removed |] ]))
   end
   else if m.Sysif.label = Proto.vnet_lookup then begin
     match st.vnet with
@@ -264,7 +313,26 @@ let handle_client st client (m : Sysif.msg) =
         let counters = st.mach.Machine.counters in
         let w = Sysif.words m in
         let dst = if Array.length w > 0 then w.(0) else 0 in
-        let src = Option.value (Hashtbl.find_opt vb.rev client) ~default:0 in
+        (* Rights gate (E19): the requester must still be attached and
+           hold its session capability — a revoked port can no longer
+           resolve peers. *)
+        let session_ok port tid =
+          match Hashtbl.find_opt vb.client_caps port with
+          | None -> true
+          | Some handle ->
+              Sysif.cap_check ~subject:tid ~handle ~need:Cap.r_read
+        in
+        let src_ok =
+          match Hashtbl.find_opt vb.rev client with
+          | None -> None (* revoked or never attached *)
+          | Some src -> if session_ok src client then Some src else None
+        in
+        match src_ok with
+        | None ->
+            Counter.incr counters "drv.net.vnet_denied";
+            reply_safely client (Sysif.msg Proto.error)
+        | Some src ->
+        (
         let resolved =
           match Vnet.Flow_cache.find vb.flows ~src ~dst with
           | Some port ->
@@ -285,12 +353,17 @@ let handle_client st client (m : Sysif.msg) =
               | None -> None)
         in
         match Option.bind resolved (Hashtbl.find_opt vb.registry) with
-        | Some tid ->
+        | Some tid
+          when session_ok (Option.value resolved ~default:0) tid ->
             reply_safely client
               (Sysif.msg Proto.ok ~items:[ Sysif.Words [| tid |] ])
+        | Some _ ->
+            (* Destination port's session was revoked: unreachable. *)
+            Counter.incr counters "drv.net.vnet_denied";
+            reply_safely client (Sysif.msg Proto.error)
         | None ->
             Counter.incr counters "vnet.no_route";
-            reply_safely client (Sysif.msg Proto.error))
+            reply_safely client (Sysif.msg Proto.error)))
   end
   else reply_safely client (Sysif.msg Proto.error)
 
@@ -311,6 +384,10 @@ let body mach ?(rx_buffers = 16) ?admit ?fair ?rx_capacity
                flows = Vnet.Flow_cache.create ~capacity:vnet_flow_capacity ();
                registry = Hashtbl.create 8;
                rev = Hashtbl.create 8;
+               svc = Sysif.cap_mint ~obj:0xE19 ~rights:Cap.r_full;
+               self = Sysif.my_tid ();
+               sessions = Hashtbl.create 8;
+               client_caps = Hashtbl.create 8;
              }
          else None);
       (* [max_int] capacity = the naive unbounded queue (still tracks

@@ -51,3 +51,20 @@ val vnet_pkt : int
 val vnet_open : int
 (** Guest → guest, once per peer: establish the shared mapping for the
     data path (carries a granted fpage). *)
+
+val vnet_revoke : int
+(** Client → broker: tear down port [w.(0)]'s session — the broker
+    revokes the port's capability chain, cascading to everything the
+    port derived (E19). [ok] carries the number of caps removed. *)
+
+(** {1 Capability transfer (E19)} *)
+
+val cap_grant : int
+(** Carries a capability handle in [w.(0)]: the sender has derived a cap
+    into the receiver's handle table ({!Sysif.cap_derive}) and hands over
+    the handle — resource delegation as plain IPC payload. *)
+
+val revoke_pool : int
+(** Client → pager: recursively revoke every mapping delegated out of the
+    pager's pool (the pager keeps its own pages). [ok] carries the number
+    of caps removed. *)

@@ -76,6 +76,11 @@ type call =
   | Send_batch of (tid * msg) list
   | Set_pager of tid
   | Kill_thread of tid
+  | Cap_mint of { obj : int; rights : int }
+  | Cap_derive of { handle : int; to_ : tid; rights : int }
+  | Cap_revoke of { handle : int; self : bool }
+  | Cap_check of { subject : tid; handle : int; need : int }
+  | Cap_lookup of { vpn : int }
 
 type reply =
   | R_unit
@@ -148,6 +153,33 @@ let send_batch msgs =
   | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
 let set_pager tid = expect_unit (invoke (Set_pager tid))
 let kill_thread tid = expect_unit (invoke (Kill_thread tid))
+
+let expect_handle = function
+  | R_tid h -> h
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let cap_mint ~obj ~rights = expect_handle (invoke (Cap_mint { obj; rights }))
+
+let cap_derive ~handle ~to_ ~rights =
+  expect_handle (invoke (Cap_derive { handle; to_; rights }))
+
+let cap_revoke ~handle ~self =
+  expect_handle (invoke (Cap_revoke { handle; self }))
+
+let cap_check ~subject ~handle ~need =
+  match invoke (Cap_check { subject; handle; need }) with
+  | R_unit -> true
+  | R_error Not_permitted -> false
+  | R_error e -> raise (Ipc_error e)
+  | R_tid _ | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+
+let cap_lookup ~vpn =
+  match invoke (Cap_lookup { vpn }) with
+  | R_tid h -> Some h
+  | R_error Not_permitted -> None
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
 
 let pp_error ppf = function
   | Dead_partner -> Format.pp_print_string ppf "dead-partner"

@@ -104,6 +104,23 @@ type call =
       (** Unwind-kill the target: its pending operation fails with
           [R_error Killed] and the raised {!Ipc_error} unwinds its fiber
           (the watchdog's recourse against a wedged server). *)
+  | Cap_mint of { obj : int; rights : int }
+      (** Root capability for user object [obj] in the caller's space
+          (E19). Replies [R_tid handle]. *)
+  | Cap_derive of { handle : int; to_ : tid; rights : int }
+      (** Child capability for the same object in [to_]'s space, rights
+          masked by the parent's. Replies [R_tid handle];
+          [Not_permitted] without [r_derive] or on a bad handle. *)
+  | Cap_revoke of { handle : int; self : bool }
+      (** Recursively tear down the derivation subtree (page caps drop
+          their {!Mapdb} mappings as they die). Replies [R_tid removed]. *)
+  | Cap_check of { subject : tid; handle : int; need : int }
+      (** Server-side validation: does [subject] hold [handle] with every
+          bit of [need]? [R_unit] yes; [R_error Not_permitted] no. *)
+  | Cap_lookup of { vpn : int }
+      (** The caller's capability for its own page at [vpn] (pages minted
+          by [Alloc_pages] carry root caps). Replies [R_tid handle] or
+          [Not_permitted]. *)
 
 type reply =
   | R_unit
@@ -145,5 +162,17 @@ val send_batch : (tid * msg) list -> int
 
 val set_pager : tid -> unit
 val kill_thread : tid -> unit
+
+(** {1 Capability wrappers (E19)}
+
+    Rights masks are {!Vmk_cap.Cap.rights} values. *)
+
+val cap_mint : obj:int -> rights:int -> int
+val cap_derive : handle:int -> to_:tid -> rights:int -> int
+val cap_revoke : handle:int -> self:bool -> int
+(** Returns the number of capabilities removed. *)
+
+val cap_check : subject:tid -> handle:int -> need:int -> bool
+val cap_lookup : vpn:int -> int option
 
 val pp_error : Format.formatter -> error -> unit

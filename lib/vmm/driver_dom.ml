@@ -154,6 +154,9 @@ type entry = {
   e_spec : spec;
   mutable e_domid : Hcall.domid;
   mutable e_generation : int;
+  mutable e_recent : int64 list;
+      (** Rebuild times still inside the rate-limit window, newest
+          first. *)
 }
 
 type t = {
@@ -173,7 +176,7 @@ let domid t name = Option.map (fun e -> e.e_domid) (entry_for t name)
 let generation t name = Option.map (fun e -> e.e_generation) (entry_for t name)
 let built t = t.entries <> []
 
-let toolstack_body mach t ~period specs () =
+let toolstack_body mach t ?restart_limit ~period specs () =
   let counters = mach.Machine.counters in
   t.entries <-
     List.map
@@ -183,8 +186,22 @@ let toolstack_body mach t ~period specs () =
             ~weight:s.ds_weight (s.ds_make ~restart:0)
         in
         Counter.incr counters "toolstack.built";
-        { e_spec = s; e_domid = domid; e_generation = 0 })
+        { e_spec = s; e_domid = domid; e_generation = 0; e_recent = [] })
       specs;
+  (* Sliding-window rate limit: a crash-looping driver domain must not
+     turn the toolstack into a fork bomb. A suppressed rebuild is only
+     deferred — once enough of the window slides past, the next liveness
+     poll rebuilds as usual. *)
+  let may_restart e ~now =
+    match restart_limit with
+    | None -> true
+    | Some (burst, window) ->
+        e.e_recent <-
+          List.filter
+            (fun at -> Int64.compare (Int64.sub now at) window < 0)
+            e.e_recent;
+        List.length e.e_recent < burst
+  in
   let rec loop () =
     if !(t.t_stop) then Hcall.exit ()
     else begin
@@ -194,17 +211,21 @@ let toolstack_body mach t ~period specs () =
       List.iter
         (fun e ->
           if not (Hcall.dom_alive e.e_domid) then begin
-            e.e_generation <- e.e_generation + 1;
-            let domid =
-              Hcall.dom_create ~name:e.e_spec.ds_name
-                ~privileged:e.e_spec.ds_privileged ~weight:e.e_spec.ds_weight
-                (e.e_spec.ds_make ~restart:e.e_generation)
-            in
-            e.e_domid <- domid;
-            t.t_restarts <-
-              (e.e_spec.ds_name, Engine.now mach.Machine.engine)
-              :: t.t_restarts;
-            Counter.incr counters "toolstack.restart"
+            let now = Engine.now mach.Machine.engine in
+            if may_restart e ~now then begin
+              e.e_generation <- e.e_generation + 1;
+              let domid =
+                Hcall.dom_create ~name:e.e_spec.ds_name
+                  ~privileged:e.e_spec.ds_privileged ~weight:e.e_spec.ds_weight
+                  (e.e_spec.ds_make ~restart:e.e_generation)
+              in
+              e.e_domid <- domid;
+              e.e_recent <- now :: e.e_recent;
+              t.t_restarts <-
+                (e.e_spec.ds_name, now) :: t.t_restarts;
+              Counter.incr counters "toolstack.restart"
+            end
+            else Counter.incr counters "toolstack.rate_limited"
           end)
         t.entries;
       loop ()

@@ -118,11 +118,22 @@ val built : t -> bool
     callers must let the hypervisor schedule it first). *)
 
 val toolstack_body :
-  Vmk_hw.Machine.t -> t -> period:int64 -> spec list -> unit -> unit
+  Vmk_hw.Machine.t ->
+  t ->
+  ?restart_limit:int * int64 ->
+  period:int64 ->
+  spec list ->
+  unit ->
+  unit
 (** The thin Dom0: build every spec once, then poll liveness every
     [period] cycles ({!Hcall.dom_alive}) and rebuild dead driver domains
     with a bumped [restart] — the supervision loop of
     {!Hypervisor.supervise}, moved where it belongs architecturally:
     into a guest that holds no device, no backend state and no driver
-    code. Counters: ["toolstack.built"], ["toolstack.restart"]. Create
-    with [privileged:true] (it must issue {!Hcall.dom_create}). *)
+    code. [restart_limit = (burst, window)] rate-limits rebuilds per
+    driver domain: at most [burst] rebuilds inside any sliding [window]
+    of virtual cycles; a rebuild beyond that is deferred (not dropped —
+    the next poll after the window slides rebuilds) and counted under
+    ["toolstack.rate_limited"]. Counters: ["toolstack.built"],
+    ["toolstack.restart"]. Create with [privileged:true] (it must issue
+    {!Hcall.dom_create}). *)

@@ -145,7 +145,20 @@ val evtchn_bind : remote_dom:domid -> remote_port:port -> port
 val evtchn_send : port -> unit
 val irq_bind : int -> port
 val grant : to_dom:domid -> frame:Vmk_hw.Frame.frame -> readonly:bool -> gref
+(** Grant [to_dom] access to [frame]. The caller may be the frame's
+    owner, or (E19) hold it mapped through someone else's grant — a
+    transitive grant whose capability derives from the map cap, so it
+    dies when the upstream grant is revoked
+    (counter ["vmm.grant_transitive"]). *)
+
 val grant_revoke : gref -> unit
+(** Revoke one of the caller's grants. Since E19 this always succeeds:
+    outstanding peer mappings — and grants they transitively made from
+    those mappings — are force-unmapped through the capability
+    derivation tree in the same pass (counters
+    ["vmm.grant_revoke_cascade"], ["gnt.revoke_forced"]) instead of
+    failing with [Permission_denied]. *)
+
 val grant_map : dom:domid -> gref:gref -> Vmk_hw.Frame.frame
 val grant_unmap : dom:domid -> gref:gref -> unit
 val grant_transfer : to_dom:domid -> frame:Vmk_hw.Frame.frame -> unit

@@ -12,6 +12,7 @@ module Segments = Vmk_hw.Segments
 module Accounts = Vmk_trace.Accounts
 module Counter = Vmk_trace.Counter
 module Engine = Vmk_sim.Engine
+module Cap = Vmk_cap.Cap
 
 let vmm_account = "vmm"
 let vmm_hole = Addr.range ~start:0xF000_0000 ~len:0x1000_0000
@@ -63,6 +64,11 @@ type domain = {
           (models timer preemption). *)
 }
 
+(* What drove the current capability teardown — decides which counter a
+   dying mapping lands on (voluntary unmap vs revocation cascade vs
+   domain death), E19. *)
+type cap_ctx = Ctx_none | Ctx_unmap | Ctx_revoke | Ctx_kill of domid
+
 type t = {
   mach : Machine.t;
   domains : (domid, domain) Hashtbl.t;
@@ -76,6 +82,19 @@ type t = {
   mutable grant_cap : int option;
       (** Machine-wide live-grant ceiling; [None] = unbounded. The
           grant-table-exhaustion fault lever (E15). *)
+  caps : Cap.t;
+      (** E19: every grant entry and every live grant mapping is backed
+          by a capability; [grant_revoke] cascades through the
+          derivation tree. *)
+  grant_handles : (domid * gref, Cap.handle) Hashtbl.t;
+      (** (granter, gref) -> grant capability. *)
+  map_handles : (domid * domid * gref, Cap.handle) Hashtbl.t;
+      (** (mapper, granter, gref) -> map capability; stacked
+          [Hashtbl.add] bindings, one per live mapping instance. *)
+  mapped_frame : (domid * int, Cap.handle) Hashtbl.t;
+      (** (mapper, frame index) -> map capability — the transitive-grant
+          lookup: a domain may re-grant a frame it holds mapped. *)
+  mutable cap_ctx : cap_ctx;
 }
 
 type stop_reason = Idle | Condition | Dispatch_limit
@@ -93,7 +112,22 @@ let create mach =
     next_asid = 1;
     last_domid = -1;
     grant_cap = None;
+    caps =
+      Cap.create ~counters:mach.Machine.counters
+        ~burn:(fun c -> Machine.burn mach c)
+        ();
+    grant_handles = Hashtbl.create 64;
+    map_handles = Hashtbl.create 64;
+    mapped_frame = Hashtbl.create 64;
+    cap_ctx = Ctx_none;
   }
+
+let caps h = h.caps
+
+let with_cap_ctx h ctx f =
+  let saved = h.cap_ctx in
+  h.cap_ctx <- ctx;
+  Fun.protect ~finally:(fun () -> h.cap_ctx <- saved) f
 
 let set_grant_cap h cap =
   (match cap with
@@ -296,23 +330,124 @@ let do_evtchn_send h (src : domain) port =
 
 (* --- grants --- *)
 
+(* Capability object namespaces (E19): grant entries and grant mappings
+   live in disjoint tagged integer spaces so the teardown hook can route
+   each dying cap back to its mechanism. *)
+let gobj_tag = 1 lsl 59
+let mobj_tag = 1 lsl 58
+let gobj ~granter ~gref = gobj_tag lor (granter lsl 24) lor gref
+
+let mobj ~mapper ~granter ~gref =
+  mobj_tag lor (mapper lsl 40) lor (granter lsl 24) lor gref
+
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_one x rest
+
+(* Remove the stacked binding [key -> v], preserving the order of the
+   other instances. *)
+let remove_binding tbl key v =
+  let vs = Hashtbl.find_all tbl key in
+  List.iter (fun _ -> Hashtbl.remove tbl key) vs;
+  List.iter (fun x -> if x <> v then Hashtbl.add tbl key x) (List.rev vs)
+
+(* Revocation hook: fires once per dying capability, children-first.
+   A map cap undoes one mapping instance (force-unmap: PTE work plus the
+   context-dependent counter); a grant cap deletes its table entry — so
+   a grant made from a mapped grant dies with its parent grant. *)
+let cap_teardown h (info : Cap.info) ~depth =
+  let counters = h.mach.Machine.counters in
+  let obj = info.Cap.i_obj in
+  if obj land mobj_tag <> 0 then begin
+    let mapper = (obj lsr 40) land 0x3_FFFF
+    and granter = (obj lsr 24) land 0xFFFF
+    and gref = obj land 0xFF_FFFF in
+    (match find h granter with
+    | Some g -> (
+        match Hashtbl.find_opt g.grants gref with
+        | Some entry ->
+            entry.g_mapped_by <- remove_one mapper entry.g_mapped_by;
+            remove_binding h.mapped_frame
+              (mapper, entry.g_frame.Frame.index)
+              info.Cap.i_handle
+        | None -> ())
+    | None -> ());
+    remove_binding h.map_handles (mapper, granter, gref) info.Cap.i_handle;
+    vburn h h.mach.Machine.arch.Arch.pt_update_cost;
+    match h.cap_ctx with
+    | Ctx_unmap when depth = 0 -> Counter.incr counters "vmm.grant_unmap"
+    | Ctx_kill dying when dying = mapper ->
+        (* The dying domain's own mappings of peers' grants: the E18
+           orphan-unmap sweep, now cap-driven. *)
+        Counter.incr counters "vmm.grant_orphan_unmap"
+    | Ctx_unmap | Ctx_revoke | Ctx_kill _ | Ctx_none ->
+        Counter.incr counters "gnt.revoke_forced"
+  end
+  else if obj land gobj_tag <> 0 then begin
+    let v = obj land lnot gobj_tag in
+    let granter = v lsr 24 and gref = v land 0xFF_FFFF in
+    (match find h granter with
+    | Some g -> Hashtbl.remove g.grants gref
+    | None -> ());
+    Hashtbl.remove h.grant_handles (granter, gref);
+    match h.cap_ctx with
+    | (Ctx_revoke | Ctx_unmap | Ctx_kill _) when depth > 0 ->
+        (* Transitive grant cut down by an ancestor's revocation. *)
+        Counter.incr counters "gnt.revoke_forced"
+    | Ctx_revoke | Ctx_unmap | Ctx_kill _ | Ctx_none -> ()
+  end
+
 let do_grant h (d : domain) ~to_dom ~frame ~readonly =
-  if frame.Frame.owner <> d.name then R_error Permission_denied
-  else if
-    match h.grant_cap with Some cap -> live_grants h >= cap | None -> false
-  then begin
-    Counter.incr h.mach.Machine.counters "vmm.grant_exhausted";
-    vburn h Costs.grant_check;
-    R_error Out_of_memory
-  end
-  else begin
-    let gref = d.next_gref in
-    d.next_gref <- d.next_gref + 1;
-    Hashtbl.add d.grants gref
-      { g_frame = frame; g_to = to_dom; g_readonly = readonly; g_mapped_by = [] };
-    vburn h Costs.grant_check;
-    R_gref gref
-  end
+  (* E19: besides frames it owns outright, a domain may re-grant a frame
+     it currently holds mapped through someone else's grant — the new
+     grant's capability derives from the map cap, so it dies with it. *)
+  let authority =
+    if frame.Frame.owner = d.name then `Owner
+    else
+      match Hashtbl.find_opt h.mapped_frame (d.domid, frame.Frame.index) with
+      | Some mh -> `Mapped mh
+      | None -> `None
+  in
+  match authority with
+  | `None -> R_error Permission_denied
+  | (`Owner | `Mapped _) as authority ->
+      if
+        match h.grant_cap with
+        | Some cap -> live_grants h >= cap
+        | None -> false
+      then begin
+        Counter.incr h.mach.Machine.counters "vmm.grant_exhausted";
+        vburn h Costs.grant_check;
+        R_error Out_of_memory
+      end
+      else begin
+        let gref = d.next_gref in
+        d.next_gref <- d.next_gref + 1;
+        Hashtbl.add d.grants gref
+          {
+            g_frame = frame;
+            g_to = to_dom;
+            g_readonly = readonly;
+            g_mapped_by = [];
+          };
+        let obj = gobj ~granter:d.domid ~gref in
+        let handle =
+          match authority with
+          | `Owner -> Cap.mint h.caps ~dom:d.domid ~obj ~rights:Cap.r_full
+          | `Mapped mh -> (
+              Counter.incr h.mach.Machine.counters "vmm.grant_transitive";
+              match
+                Cap.derive h.caps ~dom:d.domid ~handle:mh ~to_dom:d.domid
+                  ~obj ~rights:Cap.r_full
+              with
+              | Ok x -> x
+              | Error (`No_cap | `Denied) ->
+                  Cap.mint h.caps ~dom:d.domid ~obj ~rights:Cap.r_full)
+        in
+        Hashtbl.replace h.grant_handles (d.domid, gref) handle;
+        vburn h Costs.grant_check;
+        R_gref gref
+      end
 
 let do_grant_map h (mapper : domain) ~dom ~gref =
   match find_alive h dom with
@@ -326,6 +461,31 @@ let do_grant_map h (mapper : domain) ~dom ~gref =
           vburn h
             (Costs.grant_check + arch.Arch.pt_update_cost
            + arch.Arch.page_map_cost);
+          (* The mapping is a child capability of the grant: revoking the
+             grant force-unmaps it. *)
+          (match Hashtbl.find_opt h.grant_handles (granter.domid, gref) with
+          | Some gh -> (
+              let rights =
+                Cap.r_read
+                lor (if entry.g_readonly then 0 else Cap.r_write)
+                lor Cap.r_derive lor Cap.r_revoke
+              in
+              match
+                Cap.derive h.caps ~dom:granter.domid ~handle:gh
+                  ~to_dom:mapper.domid
+                  ~obj:
+                    (mobj ~mapper:mapper.domid ~granter:granter.domid ~gref)
+                  ~rights
+              with
+              | Ok mh ->
+                  Hashtbl.add h.map_handles
+                    (mapper.domid, granter.domid, gref)
+                    mh;
+                  Hashtbl.add h.mapped_frame
+                    (mapper.domid, entry.g_frame.Frame.index)
+                    mh
+              | Error (`No_cap | `Denied) -> ())
+          | None -> ());
           R_frames [ entry.g_frame ]
       | Some _ -> R_error Permission_denied
       | None -> R_error Bad_gref
@@ -336,22 +496,52 @@ let do_grant_unmap h (mapper : domain) ~dom ~gref =
   | None -> R_unit (* granter died; nothing to unmap against *)
   | Some granter -> begin
       match Hashtbl.find_opt granter.grants gref with
-      | Some entry ->
-          entry.g_mapped_by <-
-            List.filter (fun id -> id <> mapper.domid) entry.g_mapped_by;
-          Counter.incr h.mach.Machine.counters "vmm.grant_unmap";
-          vburn h h.mach.Machine.arch.Arch.pt_update_cost;
-          R_unit
+      | Some entry -> (
+          match
+            Hashtbl.find_all h.map_handles (mapper.domid, granter.domid, gref)
+          with
+          | [] ->
+              (* Cap-less legacy entry: flat bookkeeping. *)
+              entry.g_mapped_by <-
+                List.filter (fun id -> id <> mapper.domid) entry.g_mapped_by;
+              Counter.incr h.mach.Machine.counters "vmm.grant_unmap";
+              vburn h h.mach.Machine.arch.Arch.pt_update_cost;
+              R_unit
+          | handles ->
+              with_cap_ctx h Ctx_unmap (fun () ->
+                  List.iter
+                    (fun mh ->
+                      match
+                        Cap.revoke h.caps ~dom:mapper.domid ~handle:mh
+                          ~self:true ~on_revoke:(cap_teardown h)
+                      with
+                      | Ok _ | Error (`No_cap | `Denied) -> ())
+                    handles);
+              R_unit)
       | None -> R_error Bad_gref
     end
 
+(* E19: revocation always succeeds — outstanding mappings (and grants
+   made from them, transitively) are force-unmapped through the
+   capability derivation tree instead of failing with Permission_denied. *)
 let do_grant_revoke h (d : domain) gref =
   match Hashtbl.find_opt d.grants gref with
-  | Some entry when entry.g_mapped_by = [] ->
-      Hashtbl.remove d.grants gref;
+  | Some entry -> (
+      if entry.g_mapped_by <> [] then
+        Counter.incr h.mach.Machine.counters "vmm.grant_revoke_cascade";
       vburn h Costs.grant_check;
-      R_unit
-  | Some _ -> R_error Permission_denied
+      match Hashtbl.find_opt h.grant_handles (d.domid, gref) with
+      | Some gh ->
+          with_cap_ctx h Ctx_revoke (fun () ->
+              match
+                Cap.revoke h.caps ~dom:d.domid ~handle:gh ~self:true
+                  ~on_revoke:(cap_teardown h)
+              with
+              | Ok _ | Error (`No_cap | `Denied) -> ());
+          R_unit
+      | None ->
+          Hashtbl.remove d.grants gref;
+          R_unit)
   | None -> R_error Bad_gref
 
 let do_grant_transfer h (d : domain) ~to_dom ~frame =
@@ -384,6 +574,15 @@ let do_grant_exchange h (d : domain) ~dom ~gref ~give =
         match Hashtbl.find_opt granter.grants gref with
         | Some entry when entry.g_to = d.domid && entry.g_mapped_by = [] ->
             Hashtbl.remove granter.grants gref;
+            (* The transfer grant is consumed: retire its capability. *)
+            (match Hashtbl.find_opt h.grant_handles (granter.domid, gref) with
+            | Some gh -> (
+                match
+                  Cap.revoke h.caps ~dom:granter.domid ~handle:gh ~self:true
+                    ~on_revoke:(cap_teardown h)
+                with
+                | Ok _ | Error (`No_cap | `Denied) -> ())
+            | None -> ());
             Frame.transfer h.mach.Machine.frames entry.g_frame ~to_:d.name;
             Frame.transfer h.mach.Machine.frames give ~to_:granter.name;
             Counter.incr h.mach.Machine.counters "vmm.page_flip";
@@ -466,7 +665,14 @@ let kill_domain_internal h (d : domain) =
        grants are force-unmapped so the granters can revoke and re-grant
        under the next backend generation (before E18 these entries leaked
        and the frontend's revoke failed forever with Permission_denied);
-       its own table dies with it. *)
+       its own table dies with it. E19 drives this through the capability
+       layer first: tearing down every cap the domain owns force-unmaps
+       its mappings (vmm.grant_orphan_unmap), cuts down peers' mappings
+       of its grants and any grants derived from its mappings
+       (gnt.revoke_forced). The flat sweep below remains as the fallback
+       for cap-less legacy bookkeeping. *)
+    with_cap_ctx h (Ctx_kill d.domid) (fun () ->
+        ignore (Cap.revoke_dom h.caps ~dom:d.domid ~on_revoke:(cap_teardown h)));
     let orphans = ref 0 in
     Hashtbl.iter
       (fun _ peer ->

@@ -34,6 +34,12 @@ val create : Vmk_hw.Machine.t -> t
 
 val machine : t -> Vmk_hw.Machine.t
 
+val caps : t -> Vmk_cap.Cap.t
+(** The machine's capability tables (E19). Grant entries and grant
+    mappings are mirrored here as a derivation tree — grant caps parent
+    the map caps of their mappings, and transitive grants derive from
+    the map cap they were made through — so revocation cascades. *)
+
 val set_grant_cap : t -> int option -> unit
 (** Clamp ([Some cap]) or restore ([None]) the machine-wide number of
     live grant entries. Once at the cap, new grants fail with

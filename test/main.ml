@@ -15,6 +15,7 @@ let () =
       ("vnet", Test_vnet.suite);
       ("smp", Test_smp.suite);
       ("mitig", Test_mitig.suite);
+      ("cap", Test_cap.suite);
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("arch-matrix", Test_arch_matrix.suite);
