@@ -278,6 +278,19 @@ let nic_drain ~batch packets () =
   tick 0L;
   Engine.run e
 
+(* E20: one whole migration on the VMM stack — source machine with
+   bridge/sink/guest/daemon, the pre-copy rounds (or the stop-and-copy
+   checkpoint path), then the destination machine's restore and replay.
+   Small image so the bench measures the protocol machinery, not the
+   page loop. *)
+let migrate_vmm ~dirty ~cfg () =
+  let w =
+    match dirty with
+    | `Lo -> Vmk_migrate.Migrate.Workload.make ~hot:3 ~cold_every:24 ()
+    | `Hi -> Vmk_migrate.Migrate.Workload.make ~hot:12 ~cold_every:4 ()
+  in
+  ignore (Vmk_migrate.Mig_vmm.migrate ~pages:16 ~steps:120 ~w ~cfg ())
+
 (* --- test registry: one per table/figure --- *)
 
 let entries =
@@ -397,6 +410,17 @@ let entries =
       Staged.stage (fun () -> ignore (Vmk_core.Exp_e19.vmm_chain ~depth:3)) );
     ( "e19_revoke_d6",
       Staged.stage (fun () -> ignore (Vmk_core.Exp_e19.vmm_chain ~depth:6)) );
+    ( "e20_precopy_dirty_lo",
+      Staged.stage
+        (migrate_vmm ~dirty:`Lo
+           ~cfg:(Vmk_migrate.Migrate.precopy ~max_rounds:6 ~threshold:6 ())) );
+    ( "e20_precopy_dirty_hi",
+      Staged.stage
+        (migrate_vmm ~dirty:`Hi
+           ~cfg:(Vmk_migrate.Migrate.precopy ~max_rounds:6 ~threshold:6 ())) );
+    ( "e20_stopcopy",
+      Staged.stage (migrate_vmm ~dirty:`Lo ~cfg:Vmk_migrate.Migrate.stop_and_copy)
+    );
     ( "a5_contended_io_boosted",
       Staged.stage (fun () ->
           ignore

@@ -1,0 +1,8 @@
+(** E20: live migration & checkpoint/restore with mid-migration fault
+    recovery, on both stacks (see {!Vmk_migrate}). Sweeps dirty rates
+    against round budgets (downtime / total pages / convergence),
+    injects failures at every protocol phase, migrates the bridge
+    driver domain under a packet storm, and closes with the bit-for-bit
+    replay and determinism verdicts. *)
+
+val experiment : Experiment.t

@@ -26,14 +26,18 @@ type pressure =
   | Ring_cap of int option
   | Steal_frames of int
 
+type mig_action = Mig_src_dead | Mig_dst_reject | Mig_link_drop
+
 type event =
   | Disk_faults of disk_window list
   | Nic_faults of nic_window list
   | Irq_storm of { line : int; at : int64; count : int; gap : int64 }
   | Kill_at of { at : int64; target : string }
+  | Kill_window of { k_start : int64; k_stop : int64; k_target : string }
   | Grant_squeeze of { g_start : int64; g_stop : int64; g_cap : int }
   | Ring_squeeze of { r_start : int64; r_stop : int64; r_cap : int }
   | Memory_pressure of { m_at : int64; m_frames : int; m_victim : string }
+  | Mig_fault of { mig_at : int64; mig_action : mig_action }
 
 type plan = event list
 
@@ -62,7 +66,7 @@ let sectors_overlap a b =
    window silently never fires, and overlapping windows on one target
    shadow each other (the device consults the first matching window), so
    both are rejected with a message naming the offender. *)
-let validate ?targets plan =
+let validate ?horizon ?targets plan =
   (* With a known universe of kill targets, a typo'd or stale name is
      caught at arm time instead of firing into the void mid-run. *)
   let check_target what name =
@@ -73,15 +77,49 @@ let validate ?targets plan =
           invalid "%s targets unknown component %S (known: %s)" what name
             (String.concat ", " known)
   in
+  (* A window past the horizon (or an instant at/after it) never takes
+     effect on a run that ends there — the plan lies about coverage. *)
+  let check_horizon_stop what stop =
+    match horizon with
+    | Some h when Int64.compare stop h > 0 ->
+        invalid "%s window extends to %Ld, past plan horizon %Ld" what stop h
+    | Some _ | None -> ()
+  in
+  let check_horizon_at what at =
+    match horizon with
+    | Some h when Int64.compare at h >= 0 ->
+        invalid "%s scheduled at %Ld, at or past plan horizon %Ld" what at h
+    | Some _ | None -> ()
+  in
   let check_span what start stop =
     if Int64.compare stop start < 0 then
-      invalid "%s window [%Ld, %Ld) has negative duration" what start stop
+      invalid "%s window [%Ld, %Ld) has negative duration" what start stop;
+    check_horizon_stop what stop
   in
   let check_pct what pct =
     if pct < 0 || pct > 100 then invalid "%s fault pct %d outside 0..100" what pct
   in
   let disk_windows = ref [] and nic_windows = ref [] in
   let grant_windows = ref [] and ring_windows = ref [] in
+  let kill_windows = ref [] and kill_instants = ref [] in
+  (* A kill landing inside an armed kill window on the same target is
+     shadowed: whichever fires first leaves the other killing a corpse.
+     Reject the plan instead of silently absorbing the second kill. *)
+  let check_kill_instant what at target =
+    List.iter
+      (fun (w_start, w_stop, w_target) ->
+        if
+          String.equal target w_target
+          && Int64.compare w_start at <= 0
+          && Int64.compare at w_stop < 0
+        then
+          invalid
+            "%s of %s at %Ld falls inside kill window [%Ld, %Ld) on the same \
+             target (shadowed)"
+            what target at w_start w_stop)
+      !kill_windows;
+    kill_instants := (at, target) :: !kill_instants
+  in
   List.iter
     (fun event ->
       match event with
@@ -125,11 +163,48 @@ let validate ?targets plan =
           if at < 0L then invalid "irq storm starts at negative time %Ld" at;
           if count < 0 then invalid "irq storm has negative count %d" count;
           if gap < 0L then invalid "irq storm has negative gap %Ld" gap;
+          if count > 0 then
+            check_horizon_at "irq storm last tick"
+              (Int64.add at (Int64.mul (Int64.of_int (count - 1)) gap));
           ignore line
       | Kill_at { at; target } ->
           if at < 0L then
             invalid "kill of %s scheduled at negative time %Ld" target at;
-          check_target "kill" target
+          check_horizon_at "kill" at;
+          check_target "kill" target;
+          check_kill_instant "kill" at target
+      | Kill_window { k_start; k_stop; k_target } ->
+          check_span "kill" k_start k_stop;
+          if k_start < 0L then
+            invalid "kill window of %s starts at negative time %Ld" k_target
+              k_start;
+          if Int64.equal k_start k_stop then
+            invalid "kill window of %s at [%Ld, %Ld) is empty" k_target
+              k_start k_stop;
+          check_target "kill window" k_target;
+          List.iter
+            (fun (prev_start, prev_stop, prev_target) ->
+              if
+                String.equal k_target prev_target
+                && spans_overlap k_start k_stop prev_start prev_stop
+              then
+                invalid
+                  "kill windows [%Ld, %Ld) and [%Ld, %Ld) overlap on target %s"
+                  prev_start prev_stop k_start k_stop k_target)
+            !kill_windows;
+          List.iter
+            (fun (at, target) ->
+              if
+                String.equal target k_target
+                && Int64.compare k_start at <= 0
+                && Int64.compare at k_stop < 0
+              then
+                invalid
+                  "kill window [%Ld, %Ld) on %s covers the kill already \
+                   scheduled at %Ld (shadowed)"
+                  k_start k_stop k_target at)
+            !kill_instants;
+          kill_windows := (k_start, k_stop, k_target) :: !kill_windows
       | Grant_squeeze { g_start; g_stop; g_cap } ->
           check_span "grant squeeze" g_start g_stop;
           if g_cap < 0 then invalid "grant squeeze cap %d is negative" g_cap;
@@ -158,7 +233,13 @@ let validate ?targets plan =
           if m_frames < 0 then
             invalid "memory pressure steals negative frames %d (victim %s)"
               m_frames m_victim;
-          check_target "memory pressure" m_victim)
+          check_horizon_at "memory pressure" m_at;
+          check_target "memory pressure" m_victim;
+          check_kill_instant "memory-pressure kill" m_at m_victim
+      | Mig_fault { mig_at; mig_action = _ } ->
+          if mig_at < 0L then
+            invalid "migration fault at negative time %Ld" mig_at;
+          check_horizon_at "migration fault" mig_at)
     plan
 
 let kill_times t target =
@@ -173,8 +254,10 @@ let first_kill_time t target =
 (* Each fault window gets its own stream split off the machine RNG at arm
    time, in plan order — the draw sequence is a pure function of
    (machine seed, plan). *)
-let arm ?(pressure = fun (_ : pressure) -> ()) ?targets plan mach ~kill =
-  validate ?targets plan;
+let arm ?(pressure = fun (_ : pressure) -> ())
+    ?(migration = fun (_ : mig_action) -> ()) ?horizon ?targets plan mach
+    ~kill =
+  validate ?horizon ?targets plan;
   let engine = mach.Machine.engine in
   let armed = { plan; kills_fired = []; handles = [] } in
   let schedule at f =
@@ -225,6 +308,17 @@ let arm ?(pressure = fun (_ : pressure) -> ()) ?targets plan mach ~kill =
               armed.kills_fired <-
                 (target, Engine.now engine) :: armed.kills_fired;
               kill target)
+      | Kill_window { k_start; k_stop; k_target } ->
+          (* The instant is drawn from the window's own split stream at
+             arm time, so it is a pure function of (seed, plan) like
+             every other stochastic choice. *)
+          let rng = Rng.split mach.Machine.rng in
+          let at = Rng.int64_range rng k_start (Int64.pred k_stop) in
+          schedule at (fun () ->
+              Counter.incr mach.Machine.counters "faults.kill";
+              armed.kills_fired <-
+                (k_target, Engine.now engine) :: armed.kills_fired;
+              kill k_target)
       | Grant_squeeze { g_start; g_stop; g_cap } ->
           schedule g_start (fun () ->
               Counter.incr mach.Machine.counters "faults.grant_squeeze";
@@ -241,7 +335,11 @@ let arm ?(pressure = fun (_ : pressure) -> ()) ?targets plan mach ~kill =
               pressure (Steal_frames m_frames);
               armed.kills_fired <-
                 (m_victim, Engine.now engine) :: armed.kills_fired;
-              kill m_victim))
+              kill m_victim)
+      | Mig_fault { mig_at; mig_action } ->
+          schedule mig_at (fun () ->
+              Counter.incr mach.Machine.counters "faults.mig_fault";
+              migration mig_action))
     plan;
   Disk.set_faults mach.Machine.disk (List.rev !disk_faults);
   Nic.set_faults mach.Machine.nic (List.rev !nic_faults);

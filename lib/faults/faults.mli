@@ -42,6 +42,16 @@ type pressure =
   | Steal_frames of int
       (** Memory pressure: take this many frames away. *)
 
+(** Mid-migration failures (E20), delivered through the arm-time
+    [migration] callback. Like [kill] and [pressure], the mapping onto
+    the live migration session is the caller's
+    ({!Vmk_migrate.Migrate.inject}), keeping this library free of
+    protocol dependencies. *)
+type mig_action =
+  | Mig_src_dead  (** The source's migration daemon dies mid-round. *)
+  | Mig_dst_reject  (** The destination refuses to accept the guest. *)
+  | Mig_link_drop  (** The transfer link goes down. *)
+
 type event =
   | Disk_faults of disk_window list
   | Nic_faults of nic_window list
@@ -49,6 +59,10 @@ type event =
       (** [count] raises of [line], [gap] cycles apart, starting at [at]. *)
   | Kill_at of { at : int64; target : string }
       (** Invoke the arm-time [kill] callback on [target] at time [at]. *)
+  | Kill_window of { k_start : int64; k_stop : int64; k_target : string }
+      (** One kill of [k_target] at an instant drawn uniformly from
+          [\[k_start, k_stop)] off the plan's split RNG stream — a pure
+          function of (machine seed, plan). *)
   | Grant_squeeze of { g_start : int64; g_stop : int64; g_cap : int }
       (** Grant-table exhaustion window: [Grant_cap (Some g_cap)] at
           [g_start], [Grant_cap None] at [g_stop]. *)
@@ -57,6 +71,8 @@ type event =
   | Memory_pressure of { m_at : int64; m_frames : int; m_victim : string }
       (** OOM at [m_at]: [Steal_frames m_frames] through [pressure],
           then kill [m_victim] (recorded in [kills_fired]). *)
+  | Mig_fault of { mig_at : int64; mig_action : mig_action }
+      (** Invoke the arm-time [migration] callback at [mig_at]. *)
 
 type plan = event list
 
@@ -64,17 +80,25 @@ exception Invalid_plan of string
 (** Raised by {!validate} (and so by {!arm}) on a malformed plan, with a
     message naming the offending event. *)
 
-val validate : ?targets:string list -> plan -> unit
+val validate : ?horizon:int64 -> ?targets:string list -> plan -> unit
 (** Reject malformed plans before they are installed: negative-duration
     windows (which would silently never fire), fault percentages outside
     0..100, negative storm counts/gaps/times, and overlapping fault
     windows on the same target — two disk windows covering intersecting
     time spans and sector ranges, two time-overlapping NIC windows, or
     two overlapping squeezes of the same resource (where the earlier
-    restore would silently lift the later cap). When [targets] names the
-    killable components of the scenario, every [Kill_at] target and
-    [Memory_pressure] victim must appear in it — a typo'd or stale name
-    is caught here instead of firing into the void mid-run.
+    restore would silently lift the later cap). Kills interlock: a
+    [Kill_at] (or [Memory_pressure] victim) falling inside an
+    already-listed [Kill_window] on the same target is rejected — one of
+    the two would fire into a corpse — as are two overlapping
+    [Kill_window]s on one target, and a [Kill_window] that covers an
+    earlier-listed [Kill_at]. With [horizon] (the run's end time), any
+    window extending past it or instant scheduled at/after it is
+    rejected: such an event never takes effect on a run that stops
+    there, so the plan lies about its coverage. When [targets] names the
+    killable components of the scenario, every [Kill_at]/[Kill_window]
+    target and [Memory_pressure] victim must appear in it — a typo'd or
+    stale name is caught here instead of firing into the void mid-run.
     @raise Invalid_plan on the first violation found. *)
 
 type armed = {
@@ -88,6 +112,8 @@ type armed = {
 
 val arm :
   ?pressure:(pressure -> unit) ->
+  ?migration:(mig_action -> unit) ->
+  ?horizon:int64 ->
   ?targets:string list ->
   plan ->
   Vmk_hw.Machine.t ->
@@ -96,8 +122,9 @@ val arm :
 (** Install the plan: set the device fault windows and schedule storms,
     kills and resource squeezes on the machine's engine. Counters:
     ["faults.irq_storm"], ["faults.kill"], ["faults.grant_squeeze"],
-    ["faults.ring_squeeze"], ["faults.mem_pressure"]. [pressure]
-    defaults to a no-op; [targets] is passed through to {!validate}.
+    ["faults.ring_squeeze"], ["faults.mem_pressure"],
+    ["faults.mig_fault"]. [pressure] and [migration] default to no-ops;
+    [horizon] and [targets] are passed through to {!validate}.
     @raise Invalid_plan if the plan fails {!validate}. *)
 
 val disarm : armed -> Vmk_hw.Machine.t -> unit

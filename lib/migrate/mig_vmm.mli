@@ -1,0 +1,90 @@
+(** VMM-stack adapter for {!Migrate} (E20).
+
+    The source machine runs a {!Vmk_vmm.Bridge} driver domain (the
+    inter-guest fabric), a sink guest, the migrating guest and a
+    privileged migration-daemon domain. The daemon drives the {!Migrate}
+    protocol over the new E20 hypercalls: [log_dirty]/[dirty_read] for
+    the iterative rounds, the cooperative quiesce handshake plus
+    [dom_pause] for stop-and-copy, and domain destruction at commit.
+    Device state — the frontend's reconnect generation and its XenStore
+    demux key — rides the final state message.
+
+    On [Completed], a fresh destination machine restores the guest:
+    {!Vmk_vmm.Netfront.restore} rebuilds the frontend from the migrated
+    generation, the destination bridge runs at generation [+1], and the
+    ordinary E13 reconnect handshake reattaches it; the guest then
+    replays its deterministic workload from the migrated step counter.
+    On [Aborted], the source resumes and finishes; no destination is
+    built. Packets are seq-tagged, so the union of the two sinks' logs
+    must be every sequence number exactly once — the conservation
+    property the qcheck satellite drives. *)
+
+type result = {
+  r_outcome : Migrate.outcome;
+  r_image : Migrate.Image.t;  (** Final image of the surviving copy. *)
+  r_survivor : [ `Src | `Dst ];
+  r_src_log : int list;  (** Seqs the source-machine sink received, in order. *)
+  r_dst_log : int list;  (** Same for the destination machine ([] if aborted). *)
+  r_total_sends : int;  (** Packets the whole workload emits. *)
+  r_src_guest_alive : bool;  (** Source guest domain alive after the run. *)
+  r_logdirty_faults : int;  (** ["vmm.logdirty_fault"] on the source. *)
+  r_front_generation : int;  (** Surviving frontend's reconnect generation. *)
+  r_window : int64 * int64;
+      (** Source-clock [(start, end)] of the protocol run — lets a
+          caller aim a time-scheduled {!Vmk_faults.Faults.Mig_fault}
+          into the middle of the migration window deterministically. *)
+}
+
+val migrate :
+  ?pages:int ->
+  ?steps:int ->
+  ?w:Migrate.Workload.t ->
+  ?cfg:Migrate.config ->
+  ?link:Migrate.link ->
+  ?abort_at:Migrate.phase * Migrate.abort_reason ->
+  ?plan:Vmk_faults.Faults.plan ->
+  ?start_after:int64 ->
+  ?seed:int64 ->
+  unit ->
+  result
+(** One migration attempt. Defaults: 64 pages, 400 steps, the default
+    workload, {!Migrate.precopy}, no injection, daemon start after 200K
+    cycles, seed 97. [plan] is armed on the source machine with
+    {!Migrate.inject} as the [migration] callback (plus a kill hook for
+    ["guest"]), so time-based [Mig_fault] events drive the same abort
+    machinery as [abort_at]. *)
+
+val reference : ?pages:int -> ?steps:int -> ?w:Migrate.Workload.t -> unit ->
+  Migrate.Image.t
+(** The uninterrupted execution's final image — a pure replay of the
+    workload, which is exactly what an unmigrated guest computes. *)
+
+val total_sends : steps:int -> w:Migrate.Workload.t -> int
+
+type handoff = {
+  ho_mode : [ `Planned | `Crash ];
+  ho_sent : int;  (** Packets the streaming client got accepted. *)
+  ho_received : int;  (** Packets the sink saw. *)
+  ho_retries : int;  (** Send attempts that failed during the outage. *)
+  ho_outage : int64;  (** First failed send → first success after it. *)
+  ho_generation : int;  (** Client frontend's generation at the end. *)
+  ho_storm_received : int;  (** Storm packets delivered meanwhile. *)
+}
+
+val driver_handoff :
+  mode:[ `Planned | `Crash ] ->
+  ?storm:bool ->
+  ?packets:int ->
+  ?seed:int64 ->
+  unit ->
+  handoff
+(** Migrate the bridge driver domain in place while a client streams
+    packets through it (optionally under a packet storm from a third
+    guest — the E14 overload condition). [`Planned]: the toolstack
+    builds the generation [n+1] incarnation {e first}, then destroys
+    the old one, so frontends reconnect into a waiting backend.
+    [`Crash]: the old incarnation is destroyed first and the
+    replacement is only built after a supervision-poll delay — the E13
+    crash-restart baseline. The client retries with
+    {!Vmk_vmm.Netfront.reconnect}; the outage span is what the planned
+    handoff is supposed to shrink. *)

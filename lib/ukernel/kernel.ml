@@ -52,6 +52,8 @@ type tcb = {
   mutable block_token : int;
       (** Invalidates stale IPC-timeout events: bumped whenever the
           thread blocks or becomes ready. *)
+  mutable paused : bool;
+      (** Excluded from scheduling; IPC and replies park (E20 quiesce). *)
   senders : tid Queue.t;
 }
 
@@ -64,6 +66,8 @@ type t = {
   caps : Cap.t;
   queues : tcb Queue.t array;
   irq_handlers : (int, tid) Hashtbl.t;
+  log_dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** asid -> dirty-vpn set while log-dirty mode is armed (E20). *)
   mutable next_tid : int;
   mutable next_asid : int;
   mutable current_asid : int;
@@ -124,6 +128,7 @@ let create mach =
         ();
     queues = Array.init priorities (fun _ -> Queue.create ());
     irq_handlers = Hashtbl.create 8;
+    log_dirty = Hashtbl.create 4;
     next_tid = 1;
     next_asid = 1;
     current_asid = 0;
@@ -135,6 +140,17 @@ let find_alive k tid =
   match find k tid with
   | Some tcb when tcb.state <> Dead -> Some tcb
   | Some _ | None -> None
+
+let is_paused k tid =
+  match find k tid with Some tcb -> tcb.paused | None -> false
+
+let dirty_count k tid =
+  match find k tid with
+  | None -> 0
+  | Some tcb -> (
+      match Hashtbl.find_opt k.log_dirty tcb.asid with
+      | Some dirty -> Hashtbl.length dirty
+      | None -> 0)
 
 let space_of t tid =
   match find t tid with
@@ -198,6 +214,7 @@ let make_tcb k ~name ~priority ~pager ~account ~asid ~body =
       body = Some body;
       out_msg = None;
       wants_reply = false;
+      paused = false;
       faulting = None;
       burn_left = 0;
       block_token = 0;
@@ -265,6 +282,9 @@ let apply_map_items k ~(src : tcb) ~(dst : tcb) ~window msg =
               not
                 (Cap.check k.caps ~dom:src.asid ~handle:info.Cap.i_handle
                    ~need:Cap.r_map)
+              (* Fail closed at the receiver's cap quota: the page is not
+                 mapped at all rather than mapped without its mirror cap. *)
+              || not (Cap.check_quota k.caps ~dom:dst.asid ~n:1)
           | None -> false
         in
         if denied then Counter.incr counters "uk.ipc.map_denied"
@@ -417,6 +437,27 @@ and run_touch k (tcb : tcb) touch =
   in
   match result with
   | Ok _ ->
+      (if touch.t_write then
+         match Hashtbl.find_opt k.log_dirty tcb.asid with
+         | None -> ()
+         | Some dirty ->
+             let first = touch.t_addr / Vmk_hw.Addr.page_size in
+             let last =
+               (touch.t_addr + max 0 (touch.t_len - 1))
+               / Vmk_hw.Addr.page_size
+             in
+             for vpn = first to last do
+               (* First write to a clean tracked page: one
+                  protection-fault trap to set the dirty bit. *)
+               if not (Hashtbl.mem dirty vpn) then begin
+                 Hashtbl.replace dirty vpn ();
+                 Counter.incr k.mach.Machine.counters "uk.logdirty_fault";
+                 kcharged k (fun () ->
+                     kburn k
+                       (k.mach.Machine.arch.Arch.trap_cost
+                      + k.mach.Machine.arch.Arch.pt_update_cost))
+               end
+             done);
       tcb.faulting <- None;
       ready k tcb R_unit
   | Error (vpn, _fault) -> begin
@@ -595,6 +636,11 @@ let syscall_overhead k =
 
 let handle_alloc_pages k (tcb : tcb) n =
   if n <= 0 then ready k tcb (R_error (Bad_argument "alloc-pages"))
+  else if
+    (* Every fresh page mints a root cap — check the whole batch up
+       front so the allocation fails closed, not half-minted. *)
+    not (Cap.check_quota k.caps ~dom:tcb.asid ~n)
+  then ready k tcb (R_error Not_permitted)
   else begin
     match Hashtbl.find_opt k.alloc_ptr tcb.asid with
     | None -> ready k tcb (R_error (Bad_argument "no-space"))
@@ -770,11 +816,14 @@ let handle_syscall k (tcb : tcb) call =
                 ready k tcb R_unit
               end
           | Cap_mint { obj; rights } ->
-              let handle =
-                Cap.mint k.caps ~dom:tcb.asid ~obj:(user_obj obj)
-                  ~rights:(rights land Cap.r_full)
-              in
-              ready k tcb (R_tid handle)
+              if not (Cap.check_quota k.caps ~dom:tcb.asid ~n:1) then
+                ready k tcb (R_error Not_permitted)
+              else
+                let handle =
+                  Cap.mint k.caps ~dom:tcb.asid ~obj:(user_obj obj)
+                    ~rights:(rights land Cap.r_full)
+                in
+                ready k tcb (R_tid handle)
           | Cap_derive { handle; to_; rights } -> (
               match find_alive k to_ with
               | None -> ready k tcb (R_error Dead_partner)
@@ -787,7 +836,7 @@ let handle_syscall k (tcb : tcb) call =
                           ~to_dom:dst.asid ~obj:parent.Cap.i_obj ~rights
                       with
                       | Ok h -> ready k tcb (R_tid h)
-                      | Error (`No_cap | `Denied) ->
+                      | Error (`No_cap | `Denied | `Quota) ->
                           ready k tcb (R_error Not_permitted))))
           | Cap_revoke { handle; self } -> (
               match
@@ -810,7 +859,53 @@ let handle_syscall k (tcb : tcb) call =
               with
               | Some info when info.Cap.i_dom = tcb.asid ->
                   ready k tcb (R_tid info.Cap.i_handle)
-              | Some _ | None -> ready k tcb (R_error Not_permitted)))
+              | Some _ | None -> ready k tcb (R_error Not_permitted))
+          | Thread_pause target -> (
+              match find_alive k target with
+              | None -> ready k tcb (R_error Dead_partner)
+              | Some victim ->
+                  victim.paused <- true;
+                  Counter.incr k.mach.Machine.counters "uk.thread_pause";
+                  ready k tcb R_unit)
+          | Thread_resume target -> (
+              match find_alive k target with
+              | None -> ready k tcb (R_error Dead_partner)
+              | Some victim ->
+                  victim.paused <- false;
+                  (* It may have gone Ready while paused (parked reply or
+                     rendezvous) and been dropped from the run queue. *)
+                  if victim.state = Ready then enqueue k victim;
+                  ready k tcb R_unit)
+          | Log_dirty { target; enable } -> (
+              match find_alive k target with
+              | None -> ready k tcb (R_error Dead_partner)
+              | Some victim ->
+                  (* Arming write-protects the space so first writes show
+                     up; one PT sweep either way. *)
+                  kburn k k.mach.Machine.arch.Arch.pt_update_cost;
+                  if enable then
+                    Hashtbl.replace k.log_dirty victim.asid
+                      (Hashtbl.create 32)
+                  else Hashtbl.remove k.log_dirty victim.asid;
+                  ready k tcb R_unit)
+          | Dirty_read target -> (
+              match find_alive k target with
+              | None -> ready k tcb (R_error Dead_partner)
+              | Some victim -> (
+                  match Hashtbl.find_opt k.log_dirty victim.asid with
+                  | None -> ready k tcb (R_error (Bad_argument "not-tracked"))
+                  | Some dirty ->
+                      let vpns =
+                        List.sort compare
+                          (Hashtbl.fold (fun v () acc -> v :: acc) dirty [])
+                      in
+                      Hashtbl.reset dirty;
+                      (* Harvest re-protects each page for the next
+                         round. *)
+                      kburn k
+                        (List.length vpns
+                        * k.mach.Machine.arch.Arch.pt_update_cost);
+                      ready k tcb (R_vpns vpns))))
 
 (* --- Fibers --- *)
 
@@ -879,7 +974,9 @@ let deliver_irqs k =
 let rec pick_from_queue q =
   match Queue.take_opt q with
   | None -> None
-  | Some tcb when tcb.state = Ready -> Some tcb
+  | Some tcb when tcb.state = Ready && not tcb.paused -> Some tcb
+  (* A paused Ready thread leaves the queue here; Thread_resume
+     re-enqueues it. *)
   | Some _ -> pick_from_queue q
 
 let pick k =

@@ -69,6 +69,14 @@ val inject_kill : t -> Sysif.tid -> unit
 
 val is_alive : t -> Sysif.tid -> bool
 
+val is_paused : t -> Sysif.tid -> bool
+(** Paused threads keep their state but are excluded from scheduling
+    (E20 stop-and-copy quiesce); replies and IPC park until resume. *)
+
+val dirty_count : t -> Sysif.tid -> int
+(** Pages currently marked dirty in the thread's space (0 when
+    log-dirty tracking is not armed). *)
+
 val state_name : t -> Sysif.tid -> string
 (** Human-readable state for diagnostics/tests:
     ["ready"|"running"|"blocked-send"|"blocked-recv"|"blocked-call"|

@@ -81,12 +81,17 @@ type call =
   | Cap_revoke of { handle : int; self : bool }
   | Cap_check of { subject : tid; handle : int; need : int }
   | Cap_lookup of { vpn : int }
+  | Thread_pause of tid
+  | Thread_resume of tid
+  | Log_dirty of { target : tid; enable : bool }
+  | Dirty_read of tid
 
 type reply =
   | R_unit
   | R_tid of tid
   | R_msg of tid * msg
   | R_fpage of fpage
+  | R_vpns of int list
   | R_error of error
 
 type _ Effect.t += Invoke : call -> reply Effect.t
@@ -99,12 +104,14 @@ let invoke c = Effect.perform (Invoke c)
 let expect_unit = function
   | R_unit -> ()
   | R_error e -> raise (Ipc_error e)
-  | R_tid _ | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_tid _ | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let expect_msg = function
   | R_msg (src, m) -> (src, m)
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_tid _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_tid _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let burn n = expect_unit (invoke (Burn n))
 let send ?timeout dst m = expect_unit (invoke (Send (dst, m, timeout)))
@@ -123,19 +130,22 @@ let my_tid () =
   match invoke My_tid with
   | R_tid tid -> tid
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let spawn spec =
   match invoke (Spawn spec) with
   | R_tid tid -> tid
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let alloc_pages n =
   match invoke (Alloc_pages n) with
   | R_fpage fp -> fp
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_tid _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_tid _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let touch ~addr ~len ~write = expect_unit (invoke (Touch { addr; len; write }))
 let unmap fp = expect_unit (invoke (Unmap fp))
@@ -150,14 +160,16 @@ let send_batch msgs =
   match invoke (Send_batch msgs) with
   | R_tid n -> n
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 let set_pager tid = expect_unit (invoke (Set_pager tid))
 let kill_thread tid = expect_unit (invoke (Kill_thread tid))
 
 let expect_handle = function
   | R_tid h -> h
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let cap_mint ~obj ~rights = expect_handle (invoke (Cap_mint { obj; rights }))
 
@@ -172,14 +184,29 @@ let cap_check ~subject ~handle ~need =
   | R_unit -> true
   | R_error Not_permitted -> false
   | R_error e -> raise (Ipc_error e)
-  | R_tid _ | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_tid _ | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let cap_lookup ~vpn =
   match invoke (Cap_lookup { vpn }) with
   | R_tid h -> Some h
   | R_error Not_permitted -> None
   | R_error e -> raise (Ipc_error e)
-  | R_unit | R_msg _ | R_fpage _ -> raise (Ipc_error (Bad_argument "reply"))
+  | R_unit | R_msg _ | R_fpage _ | R_vpns _ ->
+      raise (Ipc_error (Bad_argument "reply"))
+
+let thread_pause tid = expect_unit (invoke (Thread_pause tid))
+let thread_resume tid = expect_unit (invoke (Thread_resume tid))
+
+let log_dirty ~target ~enable =
+  expect_unit (invoke (Log_dirty { target; enable }))
+
+let dirty_read target =
+  match invoke (Dirty_read target) with
+  | R_vpns vpns -> vpns
+  | R_error e -> raise (Ipc_error e)
+  | R_unit | R_tid _ | R_msg _ | R_fpage _ ->
+      raise (Ipc_error (Bad_argument "reply"))
 
 let pp_error ppf = function
   | Dead_partner -> Format.pp_print_string ppf "dead-partner"

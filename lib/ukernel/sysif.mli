@@ -121,12 +121,26 @@ type call =
       (** The caller's capability for its own page at [vpn] (pages minted
           by [Alloc_pages] carry root caps). Replies [R_tid handle] or
           [Not_permitted]. *)
+  | Thread_pause of tid
+      (** Exclude the target from scheduling until resumed (E20's
+          stop-and-copy quiesce). IPC and interrupts addressed to it
+          park; its pending reply is deferred until resume. *)
+  | Thread_resume of tid
+  | Log_dirty of { target : tid; enable : bool }
+      (** Arm/disarm dirty-page tracking on the target's address space:
+          writes through [Touch] mark the page dirty, the first one per
+          page paying a protection-fault charge
+          (counter ["uk.logdirty_fault"]). *)
+  | Dirty_read of tid
+      (** Harvest-and-clear the target space's dirty vpns; replies
+          [R_vpns], ascending, and re-protects each page. *)
 
 type reply =
   | R_unit
   | R_tid of tid
   | R_msg of tid * msg  (** Sender (or caller) and the transferred message. *)
   | R_fpage of fpage
+  | R_vpns of int list  (** Dirty-bitmap harvest, ascending. *)
   | R_error of error
 
 type _ Effect.t += Invoke : call -> reply Effect.t
@@ -174,5 +188,12 @@ val cap_revoke : handle:int -> self:bool -> int
 
 val cap_check : subject:tid -> handle:int -> need:int -> bool
 val cap_lookup : vpn:int -> int option
+
+(** {1 Migration wrappers (E20)} *)
+
+val thread_pause : tid -> unit
+val thread_resume : tid -> unit
+val log_dirty : target:tid -> enable:bool -> unit
+val dirty_read : tid -> int list
 
 val pp_error : Format.formatter -> error -> unit

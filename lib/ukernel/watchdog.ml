@@ -43,7 +43,24 @@ let body mach t ~period ~ping_timeout ?(backoff = period) ?(give_up = default_gi
     else begin
       List.iter
         (fun ((entry, respawn), w) ->
-          if not w.abandoned then
+          if w.abandoned then begin
+            (* Keep pinging an abandoned service: a manual toolstack
+               rebuild ({!Svc.rebind} with a healthy replacement) earns
+               its way back under watchdog care — the give-up verdict is
+               about the crash streak, not the name forever. *)
+            if ping entry ~timeout:ping_timeout then begin
+              w.abandoned <- false;
+              w.streak <- 0;
+              w.not_before <- 0L;
+              t.given_up <-
+                List.filter (fun n -> n <> entry.Svc.name) t.given_up;
+              Counter.incr counters "uk.watchdog.revive";
+              Logs.info (fun m ->
+                  m "watchdog: %s healthy again after manual rebuild; resuming"
+                    entry.Svc.name)
+            end
+          end
+          else
             if ping entry ~timeout:ping_timeout then begin
               w.streak <- 0;
               w.not_before <- 0L

@@ -26,7 +26,8 @@ val respawns : t -> (string * int64) list
 (** [(service name, virtual time)] of every respawn, oldest first. *)
 
 val given_up : t -> string list
-(** Services abandoned after the give-up cap, oldest first. *)
+(** Services currently abandoned after the give-up cap, oldest first.
+    A service revived by a successful manual rebuild leaves the list. *)
 
 val default_give_up : int
 (** [8] consecutive respawns. *)
@@ -49,6 +50,10 @@ val body :
     [backoff = period], so isolated failures behave as before), and
     after [give_up] consecutive respawns (default {!default_give_up})
     the service is abandoned. A healthy ping resets both the streak and
-    the backoff gate. Counters: ["uk.watchdog.respawn"],
-    ["uk.watchdog.giveup"].
+    the backoff gate. Abandonment is not permanent: the watchdog keeps
+    pinging abandoned services, and a healthy reply — e.g. after a
+    manual rebuild rebinds the {!Svc} entry to a working replacement —
+    revives the service, clears its give-up streak and removes it from
+    {!given_up}. Counters: ["uk.watchdog.respawn"],
+    ["uk.watchdog.giveup"], ["uk.watchdog.revive"].
     @raise Invalid_argument if [give_up < 1] or [backoff < 0]. *)

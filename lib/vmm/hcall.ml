@@ -47,6 +47,11 @@ type hcall =
       cd_body : unit -> unit;
     }
   | H_dom_alive of domid
+  | H_dom_pause of domid
+  | H_dom_unpause of domid
+  | H_log_dirty of { ld_dom : domid; ld_enable : bool }
+  | H_dirty_read of domid
+  | H_touch_page of { tp_vpn : int; tp_write : bool }
   | H_exit
 
 type error =
@@ -67,6 +72,7 @@ type hreply =
   | R_syscall of syscall_path
   | R_xs of string option
   | R_bool of bool
+  | R_vpns of int list
   | R_error of error
 
 type _ Effect.t += Invoke : hcall -> hreply Effect.t
@@ -80,14 +86,14 @@ let expect_unit = function
   | R_unit -> ()
   | R_error e -> raise (Hcall_error e)
   | R_domid _ | R_port _ | R_gref _ | R_frames _ | R_block _ | R_syscall _
-  | R_xs _ | R_bool _ ->
+  | R_xs _ | R_bool _ | R_vpns _ ->
       raise (Hcall_error (Not_virtualisable "reply"))
 
 let expect_port = function
   | R_port p -> p
   | R_error e -> raise (Hcall_error e)
   | R_unit | R_domid _ | R_gref _ | R_frames _ | R_block _ | R_syscall _
-  | R_xs _ | R_bool _ ->
+  | R_xs _ | R_bool _ | R_vpns _ ->
       raise (Hcall_error (Not_virtualisable "reply"))
 
 let burn n = expect_unit (invoke (H_burn n))
@@ -198,6 +204,21 @@ let dom_alive domid =
   | R_bool b -> b
   | R_error e -> raise (Hcall_error e)
   | _ -> raise (Hcall_error (Not_virtualisable "reply"))
+
+let dom_pause domid = expect_unit (invoke (H_dom_pause domid))
+let dom_unpause domid = expect_unit (invoke (H_dom_unpause domid))
+
+let log_dirty ~dom ~enable =
+  expect_unit (invoke (H_log_dirty { ld_dom = dom; ld_enable = enable }))
+
+let dirty_read dom =
+  match invoke (H_dirty_read dom) with
+  | R_vpns vpns -> vpns
+  | R_error e -> raise (Hcall_error e)
+  | _ -> raise (Hcall_error (Not_virtualisable "reply"))
+
+let touch_page ~vpn ~write =
+  expect_unit (invoke (H_touch_page { tp_vpn = vpn; tp_write = write }))
 
 let xs_wait_for ?timeout path =
   let _port = xs_watch path in

@@ -102,6 +102,25 @@ type hcall =
           domains instead of hosting their drivers itself. *)
   | H_dom_alive of domid
       (** Toolstack liveness probe: is the domain still undestroyed? *)
+  | H_dom_pause of domid
+      (** Deschedule the domain until unpaused (privileged; E20's
+          stop-and-copy quiesce). Pending events accumulate. *)
+  | H_dom_unpause of domid
+  | H_log_dirty of { ld_dom : domid; ld_enable : bool }
+      (** Arm/disarm log-dirty mode on a domain (privileged): the
+          PT-virtualisation layer write-protects its pages, and each
+          first write after arming (or after a {!dirty_read} harvest)
+          traps once into the VMM to set the page's dirty bit — the
+          shadow-mode trick pre-copy migration rides on. *)
+  | H_dirty_read of domid
+      (** Harvest-and-clear the domain's dirty bitmap (privileged).
+          Returns the dirtied vpns and re-protects them, each paying a
+          PT-update cycle charge. *)
+  | H_touch_page of { tp_vpn : int; tp_write : bool }
+      (** Guest memory access visible to the dirty tracker — the model's
+          stand-in for a real load/store. Free when log-dirty is off;
+          a write to a clean tracked page costs one protection-fault
+          trap (counter ["vmm.logdirty_fault"]). *)
   | H_exit
 
 type error =
@@ -122,6 +141,7 @@ type hreply =
   | R_syscall of syscall_path
   | R_xs of string option
   | R_bool of bool
+  | R_vpns of int list  (** Dirty-bitmap harvest, ascending. *)
   | R_error of error
 
 type _ Effect.t += Invoke : hcall -> hreply Effect.t
@@ -188,6 +208,18 @@ val dom_create :
 
 val dom_alive : domid -> bool
 (** Liveness probe for a domain this toolstack built. *)
+
+val dom_pause : domid -> unit
+val dom_unpause : domid -> unit
+
+val log_dirty : dom:domid -> enable:bool -> unit
+(** Arm/disarm dirty-page tracking on [dom] (privileged callers only). *)
+
+val dirty_read : domid -> int list
+(** Harvest-and-clear [dom]'s dirty vpns, ascending (privileged). *)
+
+val touch_page : vpn:int -> write:bool -> unit
+(** Report a guest memory access to the dirty tracker. *)
 
 val xs_wait_for : ?timeout:int64 -> string -> string option
 (** Watch a path and block until it has a value (or the optional timeout

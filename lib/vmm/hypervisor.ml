@@ -62,6 +62,11 @@ type domain = {
       (** Remaining guest computation, consumed one timeslice per
           dispatch so compute-bound domains cannot starve I/O domains
           (models timer preemption). *)
+  mutable paused : bool;
+      (** Excluded from scheduling; events accumulate (E20 quiesce). *)
+  mutable log_dirty_on : bool;
+  dirty : (int, unit) Hashtbl.t;
+      (** Dirty-vpn set while log-dirty mode is armed (E20 pre-copy). *)
 }
 
 (* What drove the current capability teardown — decides which counter a
@@ -183,6 +188,9 @@ let create_domain h ~name ?(privileged = false) ?(weight = 256)
       next_gref = 1;
       block_token = 0;
       burn_left = 0;
+      paused = false;
+      log_dirty_on = false;
+      dirty = Hashtbl.create 32;
     }
   in
   Hashtbl.add h.domains domid d;
@@ -246,6 +254,12 @@ let pending_event_count h domid =
   | Some d -> Hashtbl.length d.pending_events
   | None -> 0
 
+let is_paused h domid =
+  match find h domid with Some d -> d.paused | None -> false
+
+let dirty_count h domid =
+  match find h domid with Some d -> Hashtbl.length d.dirty | None -> 0
+
 let runnable_names h =
   Hashtbl.fold
     (fun _ d acc -> if d.state = Ready then d.name :: acc else acc)
@@ -287,8 +301,8 @@ let wake_with_events h d =
 let set_pending h (target : domain) port =
   Hashtbl.replace target.pending_events port ();
   match target.state with
-  | Blocked -> wake_with_events h target
-  | Ready | Running | Dead -> ()
+  | Blocked when not target.paused -> wake_with_events h target
+  | Blocked | Ready | Running | Dead -> ()
 
 (* --- XenStore (the XenBus handshake registry) --- *)
 
@@ -420,6 +434,14 @@ let do_grant h (d : domain) ~to_dom ~frame ~readonly =
         vburn h Costs.grant_check;
         R_error Out_of_memory
       end
+      else if
+        (* Every grant mirrors a cap in the granter's table — fail
+           closed at its quota before creating the grant entry. *)
+        not (Cap.check_quota h.caps ~dom:d.domid ~n:1)
+      then begin
+        vburn h Costs.grant_check;
+        R_error Out_of_memory
+      end
       else begin
         let gref = d.next_gref in
         d.next_gref <- d.next_gref + 1;
@@ -441,7 +463,7 @@ let do_grant h (d : domain) ~to_dom ~frame ~readonly =
                   ~obj ~rights:Cap.r_full
               with
               | Ok x -> x
-              | Error (`No_cap | `Denied) ->
+              | Error (`No_cap | `Denied | `Quota) ->
                   Cap.mint h.caps ~dom:d.domid ~obj ~rights:Cap.r_full)
         in
         Hashtbl.replace h.grant_handles (d.domid, gref) handle;
@@ -454,6 +476,13 @@ let do_grant_map h (mapper : domain) ~dom ~gref =
   | None -> R_error Dead_domain
   | Some granter -> begin
       match Hashtbl.find_opt granter.grants gref with
+      | Some entry
+        when entry.g_to = mapper.domid
+             && not (Cap.check_quota h.caps ~dom:mapper.domid ~n:1) ->
+          (* The mapping would mirror a cap in the mapper's table; at
+             quota the map fails closed before touching the entry. *)
+          vburn h Costs.grant_check;
+          R_error Out_of_memory
       | Some entry when entry.g_to = mapper.domid ->
           entry.g_mapped_by <- mapper.domid :: entry.g_mapped_by;
           let arch = h.mach.Machine.arch in
@@ -484,7 +513,7 @@ let do_grant_map h (mapper : domain) ~dom ~gref =
                   Hashtbl.add h.mapped_frame
                     (mapper.domid, entry.g_frame.Frame.index)
                     mh
-              | Error (`No_cap | `Denied) -> ())
+              | Error (`No_cap | `Denied | `Quota) -> ())
           | None -> ());
           R_frames [ entry.g_frame ]
       | Some _ -> R_error Permission_denied
@@ -946,6 +975,77 @@ let handle_hypercall h (d : domain) call =
       caller_charged (fun () ->
           hypercall_overhead h "vmm.hcall.domctl";
           ready h d (R_bool (is_alive h domid)))
+  | H_dom_pause domid ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else
+            match find_alive h domid with
+            | None -> ready h d (R_error Dead_domain)
+            | Some target ->
+                target.paused <- true;
+                Counter.incr h.mach.Machine.counters "vmm.dom_pause";
+                ready h d R_unit)
+  | H_dom_unpause domid ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else
+            match find_alive h domid with
+            | None -> ready h d (R_error Dead_domain)
+            | Some target ->
+                target.paused <- false;
+                (* Events that arrived while paused were parked; deliver
+                   the accumulated batch now. *)
+                if target.state = Blocked
+                   && Hashtbl.length target.pending_events > 0
+                then wake_with_events h target;
+                ready h d R_unit)
+  | H_log_dirty { ld_dom; ld_enable } ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else
+            match find_alive h ld_dom with
+            | None -> ready h d (R_error Dead_domain)
+            | Some target ->
+                (* Arming write-protects the domain's pages so first
+                   writes trap; one PT sweep either way. *)
+                vburn h h.mach.Machine.arch.Arch.pt_update_cost;
+                target.log_dirty_on <- ld_enable;
+                Hashtbl.reset target.dirty;
+                ready h d R_unit)
+  | H_dirty_read domid ->
+      caller_charged (fun () ->
+          hypercall_overhead h "vmm.hcall.domctl";
+          if not d.privileged then ready h d (R_error Permission_denied)
+          else
+            match find_alive h domid with
+            | None -> ready h d (R_error Dead_domain)
+            | Some target ->
+                let vpns =
+                  List.sort compare
+                    (Hashtbl.fold (fun v () acc -> v :: acc) target.dirty [])
+                in
+                Hashtbl.reset target.dirty;
+                (* Harvest test-and-clears the bitmap and re-protects
+                   each page for the next round. *)
+                vburn h
+                  (List.length vpns * h.mach.Machine.arch.Arch.pt_update_cost);
+                ready h d (R_vpns vpns))
+  | H_touch_page { tp_vpn; tp_write } ->
+      (* The model's stand-in for a guest load/store: free while
+         untracked, one protection-fault trap on the first write to a
+         clean page while log-dirty is armed. *)
+      if d.log_dirty_on && tp_write && not (Hashtbl.mem d.dirty tp_vpn)
+      then begin
+        Hashtbl.replace d.dirty tp_vpn ();
+        Counter.incr h.mach.Machine.counters "vmm.logdirty_fault";
+        let arch = h.mach.Machine.arch in
+        Accounts.with_account h.mach.Machine.accounts vmm_account (fun () ->
+            vburn h (arch.Arch.trap_cost + arch.Arch.pt_update_cost))
+      end;
+      ready h d R_unit
   | H_exit -> kill_domain_internal h d
 
 (* --- fibers --- *)
@@ -1007,7 +1107,7 @@ let pick h =
   let best = ref None in
   Hashtbl.iter
     (fun _ d ->
-      if d.state = Ready then
+      if d.state = Ready && not d.paused then
         match !best with
         | Some b
           when Int64.compare b.pass d.pass < 0

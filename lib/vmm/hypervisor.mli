@@ -117,5 +117,12 @@ val state_name : t -> Hcall.domid -> string
 
 val pending_event_count : t -> Hcall.domid -> int
 
+val is_paused : t -> Hcall.domid -> bool
+(** Paused domains keep their state but are excluded from scheduling
+    (E20 stop-and-copy quiesce); events accumulate until unpause. *)
+
+val dirty_count : t -> Hcall.domid -> int
+(** Pages currently marked in the domain's log-dirty bitmap. *)
+
 val runnable_names : t -> string list
 (** Names currently in the run queue (diagnostics). *)

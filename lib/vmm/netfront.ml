@@ -96,6 +96,36 @@ let connect chan ~backend ?(arch = Arch.default) ?(rx_buffers = 32) () =
   notify t;
   t
 
+(* A frontend rebuilt from migrated state (E20): the handle starts dead
+   — the source's backend is unreachable from this machine — and keeps
+   the source's generation, so the ordinary [reconnect] path below picks
+   up the destination backend the moment it publishes a higher
+   [key/gen]. Transmit frames come from the destination's reservation;
+   in-flight ring state never survives migration (exactly-once delivery
+   is the application's sequence numbers, as with any reconnect). *)
+let restore chan ~generation ?(arch = Arch.default) () =
+  let t =
+    {
+      chan;
+      backend = -1;
+      my_port = -1;
+      generation;
+      arch;
+      tx_free = Queue.create ();
+      tx_inflight = Hashtbl.create 16;
+      rx_grants = Hashtbl.create 32;
+      delivered = Queue.create ();
+      tx_acked = 0;
+      rx_received = 0;
+      rx_post_dropped = 0;
+      ecn_pending = false;
+      ecn_marks = 0;
+      dead = true;
+    }
+  in
+  List.iter (fun f -> Queue.add f t.tx_free) (Hcall.alloc_frames 16);
+  t
+
 let port t = t.my_port
 
 let app_copy t len =

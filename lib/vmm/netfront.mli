@@ -23,6 +23,15 @@ val connect :
     prices the guest-side packet copies (default {!Vmk_hw.Arch.default});
     pass the machine's profile on other platforms. *)
 
+val restore :
+  Net_channel.t -> generation:int -> ?arch:Vmk_hw.Arch.profile -> unit -> t
+(** Rebuild a frontend from migrated state on the destination machine
+    (E20). The returned handle starts {!backend_dead} — the source's
+    backend is gone — with the source's [generation], so the normal
+    {!reconnect} path performs the handshake against the destination
+    backend once it publishes a higher [key/gen]. Allocates fresh
+    transmit frames from the caller's (destination) reservation. *)
+
 val port : t -> Hcall.port
 (** The frontend's event-channel port (to match against
     {!Hcall.block} results). *)

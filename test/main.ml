@@ -19,4 +19,5 @@ let () =
       ("core", Test_core.suite);
       ("properties", Test_properties.suite);
       ("arch-matrix", Test_arch_matrix.suite);
+      ("migrate", Test_migrate.suite);
     ]

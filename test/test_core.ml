@@ -177,7 +177,7 @@ let test_quick_verdicts_hold id =
   | None -> Alcotest.fail (id ^ " missing")
 
 let test_registry_complete () =
-  check_int "25 experiments" 25 (List.length Registry.all);
+  check_int "26 experiments" 26 (List.length Registry.all);
   check_bool "find is case-insensitive" true (Registry.find "E3" <> None);
   check_bool "unknown is None" true (Registry.find "zz" = None);
   let ids = Registry.ids () in
