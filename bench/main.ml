@@ -212,7 +212,9 @@ let saturated_ring_push pushes () =
 (* E17: the virtual switch's forwarding hot path at 2/4/8 attached
    guests — pairwise flows over pre-learned stations, pop after each
    forward so the port queues stay shallow (steady state, flow-cache
-   hits dominating). *)
+   hits dominating). E21 moved the loop onto the allocation-free entry
+   points ([forward_to]/[discard]); the measured work — learn, admit,
+   resolve, enqueue, dequeue per packet — is unchanged. *)
 let switch_forward guests packets () =
   let module Vnet = Vmk_vnet.Vnet in
   let s = Vnet.Switch.create () in
@@ -221,14 +223,61 @@ let switch_forward guests packets () =
     ignore (Vnet.Switch.add_port s ~id);
     Vnet.Mac_table.learn mt ~now:0L ~mac:id ~port:id
   done;
-  for i = 0 to packets - 1 do
-    let src = (i mod guests) + 1 in
-    let dst = (src mod guests) + 1 in
+  (* Wrap-around source cycling — same pairwise sequence as
+     [(i mod guests) + 1] without paying an integer division per
+     packet in the driver. *)
+  let cur = ref 0 in
+  for _ = 0 to packets - 1 do
+    let src = !cur + 1 in
+    let dst = (if src >= guests then 0 else src) + 1 in
+    cur := (if src >= guests then 0 else src);
     ignore
-      (Vnet.Switch.forward s ~now:(Int64.of_int i) ~in_port:src
-         { Vnet.src; dst; len = 512; tag = (dst * 1_000_000) + (src * 10_000) });
-    ignore (Vnet.Switch.pop s ~port:dst)
+      (Vnet.Switch.forward_to s ~now:0L ~in_port:src ~src ~dst ~len:512
+         ~tag:((dst * 1_000_000) + (src * 10_000)));
+    ignore (Vnet.Switch.discard s ~port:dst)
   done
+
+(* E21: the same steady-state forwarding loop over a switch built once
+   outside the measured closure — what a long sweep actually pays per
+   packet, with creation amortized away. The [minor_allocated] column
+   for these entries is the "Gc words/packet = 0" acceptance check. *)
+let switch_forward_steady guests packets =
+  let module Vnet = Vmk_vnet.Vnet in
+  let s = Vnet.Switch.create () in
+  let mt = Vnet.Switch.mac_table s in
+  for id = 1 to guests do
+    ignore (Vnet.Switch.add_port s ~id);
+    Vnet.Mac_table.learn mt ~now:0L ~mac:id ~port:id
+  done;
+  fun () ->
+    let cur = ref 0 in
+    for _ = 0 to packets - 1 do
+      let src = !cur + 1 in
+      let dst = (if src >= guests then 0 else src) + 1 in
+      cur := (if src >= guests then 0 else src);
+      ignore
+        (Vnet.Switch.forward_to s ~now:0L ~in_port:src ~src ~dst ~len:512
+           ~tag:((dst * 1_000_000) + (src * 10_000)));
+      ignore (Vnet.Switch.discard s ~port:dst)
+    done
+
+(* E21 decomposition: the counter path alone, interned id vs string
+   shim, 1000 bumps per run. *)
+let counter_incr_id bumps =
+  let c = Vmk_trace.Counter.create_set () in
+  let id = Vmk_trace.Counter.id c "bench.hot" in
+  fun () ->
+    for _ = 1 to bumps do
+      Vmk_trace.Counter.incr_id c id
+    done
+
+let counter_incr_string bumps =
+  let c = Vmk_trace.Counter.create_set () in
+  Vmk_trace.Counter.incr c "bench.hot";
+  fun () ->
+    for _ = 1 to bumps do
+      Vmk_trace.Counter.incr c "bench.hot"
+    done
 
 (* E16: NIC drain at a given poll-batch size. [batch = 1] is the legacy
    per-packet path (one IRQ, one rx_ready per packet); larger batches
@@ -380,6 +429,10 @@ let entries =
     ("e17_vnet_switch_fwd_2g_x200", Staged.stage (switch_forward 2 200));
     ("e17_vnet_switch_fwd_4g_x200", Staged.stage (switch_forward 4 200));
     ("e17_vnet_switch_fwd_8g_x200", Staged.stage (switch_forward 8 200));
+    ("e21_fwd_steady_2g_x200", Staged.stage (switch_forward_steady 2 200));
+    ("e21_fwd_steady_8g_x200", Staged.stage (switch_forward_steady 8 200));
+    ("e21_counter_incr_id_x1000", Staged.stage (counter_incr_id 1000));
+    ("e21_counter_incr_str_x1000", Staged.stage (counter_incr_string 1000));
     ( "e17_pairwise_vmm_2g_x6",
       Staged.stage (fun () ->
           ignore (Vmk_core.Exp_e17.pairwise ~stack:Vmk_core.Exp_e17.Vmm ~guests:2 ~count:6)) );
@@ -465,7 +518,7 @@ let contains ~sub s =
   n = 0 || go 0
 
 let parse_args () =
-  let only = ref None and json = ref None in
+  let only = ref None and json = ref None and baseline = ref None in
   let rec go = function
     | [] -> ()
     | "--only" :: v :: rest ->
@@ -474,12 +527,60 @@ let parse_args () =
     | "--json" :: v :: rest ->
         json := Some v;
         go rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        go rest
     | a :: _ ->
         Printf.eprintf "bench: unknown argument %s\n" a;
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!only, !json)
+  (!only, !json, !baseline)
+
+(* Read the "results" object of a committed BENCH_*.json — the same
+   vmk-bench-v1 shape [write_json] emits. A tiny line-oriented parse is
+   enough: one ["name": value] pair per line. *)
+let load_baseline path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot read baseline %s: %s\n" path msg;
+      exit 2
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       (* Only the ns/run section is a baseline; the alloc section of a
+          v2 file repeats the same entry names. *)
+       if line = "\"minor_words_per_run\": {" then raise End_of_file;
+       match String.index_opt line '"' with
+       | Some q1 -> (
+           match String.index_from_opt line (q1 + 1) '"' with
+           | Some q2 -> (
+               let name = String.sub line (q1 + 1) (q2 - q1 - 1) in
+               match String.index_from_opt line q2 ':' with
+               | Some colon -> (
+                   let v =
+                     String.trim
+                       (String.sub line (colon + 1)
+                          (String.length line - colon - 1))
+                   in
+                   let v =
+                     match String.index_opt v ',' with
+                     | Some c -> String.sub v 0 c
+                     | None -> v
+                   in
+                   match float_of_string_opt v with
+                   | Some f -> rows := (name, f) :: !rows
+                   | None -> ())
+               | None -> ())
+           | None -> ())
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !rows
 
 let benchmark ~only =
   let selected =
@@ -494,7 +595,10 @@ let benchmark ~only =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  (* [minor_allocated] rides along (E21): words of minor heap per run,
+     the "allocs/run" column that keeps hot paths honestly
+     allocation-free. *)
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   let raw_results = Benchmark.all cfg instances tests in
   let results =
@@ -516,9 +620,18 @@ let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"vmk-bench-v1\",\n  \"unit\": \"ns/run\",\n  \"results\": {\n";
   List.iteri
-    (fun i (name, value) ->
+    (fun i (name, (value, _)) ->
       Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
         (match value with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  },\n  \"minor_words_per_run\": {\n";
+  List.iteri
+    (fun i (name, (_, words)) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape name)
+        (match words with
         | Some v -> Printf.sprintf "%.1f" v
         | None -> "null")
         (if i = List.length rows - 1 then "" else ","))
@@ -526,31 +639,78 @@ let write_json path rows =
   Printf.fprintf oc "  }\n}\n";
   close_out oc
 
+(* Compare measured ns/run against a committed baseline: print the
+   speedup per entry and fail (non-zero exit) when anything regressed
+   more than 15% — the CI guard that keeps the E21 win locked in. *)
+let regression_threshold = 1.15
+
+let compare_baseline base rows =
+  let regressions = ref [] in
+  Printf.printf "\n%-42s %12s %12s %9s\n" "vs baseline" "base ns" "now ns"
+    "speedup";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun (name, (value, _)) ->
+      match (value, List.assoc_opt name base) with
+      | Some now, Some was when now > 0.0 ->
+          let speedup = was /. now in
+          Printf.printf "%-42s %12.0f %12.0f %8.2fx\n" name was now speedup;
+          if now > was *. regression_threshold then
+            regressions := (name, speedup) :: !regressions
+      | _ -> ())
+    rows;
+  match !regressions with
+  | [] -> ()
+  | rs ->
+      List.iter
+        (fun (name, speedup) ->
+          Printf.eprintf "bench: REGRESSION %s is %.2fx the baseline (>%.0f%%)\n"
+            name (1.0 /. speedup)
+            ((regression_threshold -. 1.0) *. 100.0))
+        rs;
+      exit 1
+
 let () =
-  let only, json = parse_args () in
+  let only, json, baseline = parse_args () in
   let results = benchmark ~only in
-  let clock = Measure.label Instance.monotonic_clock in
-  match Hashtbl.find_opt results clock with
+  let estimates label =
+    match Hashtbl.find_opt results label with
+    | None -> fun _ -> None
+    | Some tbl -> (
+        fun name ->
+          match Hashtbl.find_opt tbl name with
+          | None -> None
+          | Some ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some (v :: _) -> Some v
+              | Some [] | None -> None))
+  in
+  let clock = estimates (Measure.label Instance.monotonic_clock) in
+  let words = estimates (Measure.label Instance.minor_allocated) in
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
   | None -> print_endline "bench: no results"
   | Some tbl ->
       let rows =
         List.sort compare
           (Hashtbl.fold
-             (fun name ols acc ->
-               let value =
-                 match Analyze.OLS.estimates ols with
-                 | Some (v :: _) -> Some v
-                 | Some [] | None -> None
-               in
-               (name, value) :: acc)
+             (fun name _ acc -> (name, (clock name, words name)) :: acc)
              tbl [])
       in
-      Printf.printf "%-42s %16s\n" "benchmark" "ns/run";
-      Printf.printf "%s\n" (String.make 60 '-');
+      Printf.printf "%-42s %16s %12s\n" "benchmark" "ns/run" "allocs/run";
+      Printf.printf "%s\n" (String.make 72 '-');
       List.iter
-        (fun (name, value) ->
+        (fun (name, (value, w)) ->
+          let ws =
+            match w with
+            | Some v when Float.abs v < 0.5 -> "0"
+            | Some v -> Printf.sprintf "%.0fw" v
+            | None -> "n/a"
+          in
           match value with
-          | Some v -> Printf.printf "%-42s %16.0f\n" name v
-          | None -> Printf.printf "%-42s %16s\n" name "n/a")
+          | Some v -> Printf.printf "%-42s %16.0f %12s\n" name v ws
+          | None -> Printf.printf "%-42s %16s %12s\n" name "n/a" ws)
         rows;
-      Option.iter (fun path -> write_json path rows) json
+      Option.iter (fun path -> write_json path rows) json;
+      Option.iter
+        (fun path -> compare_baseline (load_baseline path) rows)
+        baseline

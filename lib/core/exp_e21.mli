@@ -1,0 +1,12 @@
+(** E21 — zero-alloc hot path + tickless executor micro-report.
+
+    Instrument check rather than a paper claim: verifies that
+    steady-state switch forwarding allocates zero minor-heap words per
+    packet while charging exactly the published virtual-cycle
+    constants, and that the kernel/hypervisor executors fast-forward
+    idle gaps and long compute bursts instead of burning timeslices
+    (itemized by {!Vmk_sim.Engine}'s idle/burst skip accounting). All
+    measurements are deterministic; wall-clock speedups are tracked by
+    the bench harness (BENCH_e21.json). *)
+
+val experiment : Experiment.t

@@ -20,6 +20,7 @@ let all =
     Exp_e18.experiment;
     Exp_e19.experiment;
     Exp_e20.experiment;
+    Exp_e21.experiment;
     Exp_e3.ablation;
     Exp_e2.ablation;
     Exp_e6.ablation;

@@ -38,8 +38,20 @@ let op_exit = 10
    rendezvous/transfer: queue handling, header decode. *)
 let vnet_rx_work = 300
 
+(* Pre-resolved counter ids for the per-packet direct-IPC path (E21).
+   Retry/give-up and connection-setup counters stay string-keyed — they
+   fire per backoff event or per peer, not per packet. *)
+type vnet_ids = {
+  vi_tx : int;
+  vi_ecn_mark : int;
+  vi_ecn_backoff : int;
+  vi_vnet_drop : int;
+  vi_drop : int;
+}
+
 type vnet = {
   v_mach : Machine.t;
+  v_ids : vnet_ids;
   v_port : int;  (** This guest's address on the fabric. *)
   v_rx : (int * int) Overload.Bounded_queue.t;  (** (tag, len) *)
   v_timeout : int64;  (** Rendezvous timeout on the data path. *)
@@ -55,8 +67,17 @@ let vnet ~mach ~port ?(rx_capacity = 64)
     ?(rx_policy = Overload.Bounded_queue.Reject) ?mark_at
     ?(timeout = 2_000_000L) ?(ecn_delay = 100_000L) () =
   if port < 1 then invalid_arg "Port_l4.vnet: port < 1";
+  let c = mach.Machine.counters in
   {
     v_mach = mach;
+    v_ids =
+      {
+        vi_tx = Counter.id c "l4.vnet_tx";
+        vi_ecn_mark = Counter.id c Overload.ecn_mark_counter;
+        vi_ecn_backoff = Counter.id c Overload.ecn_backoff_counter;
+        vi_vnet_drop = Counter.id c "vnet.drop";
+        vi_drop = Counter.id c Overload.drop_counter;
+      };
     v_port = port;
     v_rx =
       Overload.Bounded_queue.create ~policy:rx_policy ?mark_at
@@ -163,11 +184,11 @@ let vnet_accept v (m : Sysif.msg) =
   | Overload.Bounded_queue.Accepted | Overload.Bounded_queue.Displaced _ ->
       v.v_received <- v.v_received + 1;
       let mark = Overload.Bounded_queue.marked v.v_rx in
-      if mark then Counter.incr counters Overload.ecn_mark_counter;
+      if mark then Counter.incr_id counters v.v_ids.vi_ecn_mark;
       ok_reply ~items:[ Sysif.Words [| (if mark then 1 else 0) |] ] ()
   | Overload.Bounded_queue.Rejected | Overload.Bounded_queue.Retry_until _ ->
-      Counter.incr counters "vnet.drop";
-      Counter.incr counters Overload.drop_counter;
+      Counter.incr_id counters v.v_ids.vi_vnet_drop;
+      Counter.incr_id counters v.v_ids.vi_drop;
       Sysif.msg Proto.busy
 
 let vnet_open_accept v (m : Sysif.msg) =
@@ -230,11 +251,11 @@ let vnet_send st v ~len ~tag peer =
     with
     | _, r when r.Sysif.label = Proto.ok ->
         v.v_sent <- v.v_sent + 1;
-        Counter.incr counters "l4.vnet_tx";
+        Counter.incr_id counters v.v_ids.vi_tx;
         let w = Sysif.words r in
         if Array.length w > 0 && w.(0) = 1 then begin
           (* Receiver past its watermark: pace before it drops. *)
-          Counter.incr counters Overload.ecn_backoff_counter;
+          Counter.incr_id counters v.v_ids.vi_ecn_backoff;
           Sysif.sleep v.v_ecn_delay
         end;
         Some (ok_reply ())
@@ -443,6 +464,7 @@ let gk_call gk m =
   | exception Sysif.Ipc_error _ -> raise (Sys.Sys_error "guest kernel dead")
 
 let handler mach gk =
+  let id_gsys = Counter.id mach.Machine.counters "gsys.count" in
   let name_ids : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let next_name = ref 1 in
   let intern name =
@@ -460,7 +482,7 @@ let handler mach gk =
         Sysif.burn n;
         Sys.G_unit
     | _ -> begin
-        Counter.incr mach.Machine.counters "gsys.count";
+        Counter.incr_id mach.Machine.counters id_gsys;
         let rpc ?items words =
           gk_call gk
             (Sysif.msg Proto.guest_syscall

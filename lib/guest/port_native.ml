@@ -12,6 +12,8 @@ let account = "native"
 
 type state = {
   mach : Machine.t;
+  id_gsys : int;
+  id_syscall : int;  (** Pre-resolved per-syscall counters (E21). *)
   tx_free : Frame.frame Queue.t;
   blk_free : Frame.frame Queue.t;
   rx_queue : (int * int) Queue.t; (* len, tag *)
@@ -60,8 +62,8 @@ let rec wait_for st f =
 
 let syscall_overhead st call =
   let arch = st.mach.Machine.arch in
-  Counter.incr st.mach.Machine.counters "gsys.count";
-  Counter.incr st.mach.Machine.counters "native.syscall";
+  Counter.incr_id st.mach.Machine.counters st.id_gsys;
+  Counter.incr_id st.mach.Machine.counters st.id_syscall;
   Machine.burn st.mach
     (arch.Arch.fast_syscall_cost + arch.Arch.kernel_exit_cost
    + Sys.kernel_work call)
@@ -167,6 +169,8 @@ let run mach ?(nic_buffers = 16) app =
   let st =
     {
       mach;
+      id_gsys = Counter.id mach.Machine.counters "gsys.count";
+      id_syscall = Counter.id mach.Machine.counters "native.syscall";
       tx_free = Queue.create ();
       blk_free = Queue.create ();
       rx_queue = Queue.create ();

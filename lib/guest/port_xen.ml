@@ -29,6 +29,10 @@ let default_resilience =
 
 type state = {
   mach : Machine.t;
+  id_gsys : int;
+  id_ecn_backoff : int;
+      (** Per-syscall / per-send counters pre-resolved at boot (E21);
+          retry, give-up and reconnect stay string-keyed (cold). *)
   mux : Evt_mux.t;
   net : Netfront.t option;
   blk : Blkfront.t option;
@@ -114,7 +118,7 @@ let do_net_send st ~len ~tag =
   (* ECN: a marked completion means the bridge found the destination's
      queue past its watermark — pace now, before drops start. *)
   if Netfront.take_ecn_mark front then begin
-    Counter.incr st.mach.Machine.counters Overload.ecn_backoff_counter;
+    Counter.incr_id st.mach.Machine.counters st.id_ecn_backoff;
     match Hcall.block ~timeout:ecn_delay () with
     | Hcall.Events ports -> Evt_mux.dispatch st.mux ports
     | Hcall.Timed_out -> ()
@@ -228,7 +232,7 @@ let handler st call =
       Hcall.burn n;
       Sys.G_unit
   | _ -> begin
-      Counter.incr st.mach.Machine.counters "gsys.count";
+      Counter.incr_id st.mach.Machine.counters st.id_gsys;
       (* The user→kernel transition, fast or bounced. *)
       ignore (Hcall.syscall_trap ());
       Hcall.burn (Sys.kernel_work call);
@@ -284,6 +288,8 @@ let guest_body mach ?net ?blk ?(fast_syscall = true) ?(glibc_tls = false)
   let st =
     {
       mach;
+      id_gsys = Counter.id mach.Machine.counters "gsys.count";
+      id_ecn_backoff = Counter.id mach.Machine.counters Overload.ecn_backoff_counter;
       mux;
       net = net_front;
       blk = blk_front;

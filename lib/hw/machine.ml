@@ -26,11 +26,15 @@ let create ?(arch = Arch.default) ?(frames = 4096) ?(cpus = 1) ?seed () =
   let counters = Vmk_trace.Counter.create_set () in
   (* Machine-wide itemization of NIC behaviour the drivers never see:
      buffer-exhaustion drops belong to the overload drop budget, absorbed
-     interrupt edges to the mitigation ledger. *)
+     interrupt edges to the mitigation ledger. The hooks are bound once
+     here with pre-resolved counter ids (E21) — each firing is an array
+     store, not a string hash. *)
+  let id_nic_drop = Vmk_trace.Counter.id counters "overload.nic_drop" in
+  let id_coalesced = Vmk_trace.Counter.id counters "mitig.irq_coalesced" in
   Nic.on_rx_drop nic (fun () ->
-      Vmk_trace.Counter.incr counters "overload.nic_drop");
+      Vmk_trace.Counter.incr_id counters id_nic_drop);
   Nic.on_coalesce nic (fun () ->
-      Vmk_trace.Counter.incr counters "mitig.irq_coalesced");
+      Vmk_trace.Counter.incr_id counters id_coalesced);
   {
     arch;
     engine;

@@ -126,6 +126,11 @@ module Bounded_queue : sig
 
   val push : 'a t -> now:int64 -> 'a -> 'a outcome
   val pop : 'a t -> 'a option
+
+  val drop_head : 'a t -> bool
+  (** Discard the oldest item without materializing it — the
+      allocation-free form of [ignore (pop t)]. [false] when empty. *)
+
   val length : 'a t -> int
   val capacity : 'a t -> int
   val policy : 'a t -> policy
@@ -219,7 +224,24 @@ val note_queue_peak : Vmk_trace.Counter.set -> name:string -> int -> unit
 (** Record a queue-depth observation under [overload.queue_peak.<name>]
     (the counter keeps the maximum seen). *)
 
+val queue_peak_id : Vmk_trace.Counter.set -> name:string -> int
+(** Intern [overload.queue_peak.<name>] once at wiring time; feed the
+    id to {!note_queue_peak_id} on the hot path. *)
+
+val note_queue_peak_id : Vmk_trace.Counter.set -> int -> int -> unit
+(** [note_queue_peak_id counters id depth] — allocation-free form of
+    {!note_queue_peak} over a pre-resolved id. *)
+
 val note_batch : Vmk_trace.Counter.set -> int -> unit
 (** Record one poll batch of the given size under
     [mitig.batch_hist.<2^k>] where [2^k] is the largest power of two not
     exceeding the size. Sizes [< 1] are ignored. *)
+
+type batch_hist
+(** Pre-interned [mitig.batch_hist.*] bucket ids for one counter set. *)
+
+val batch_hist : Vmk_trace.Counter.set -> batch_hist
+(** Intern every power-of-two bucket once at wiring time. *)
+
+val note_batch_hist : Vmk_trace.Counter.set -> batch_hist -> int -> unit
+(** Allocation-free form of {!note_batch} over pre-resolved ids. *)

@@ -45,6 +45,33 @@ val next_due : t -> int64 option
 (** Due time of the earliest queued event, without dispatching it. Lets
     the SMP executor skip idle quanta straight to the next arrival. *)
 
+val next_due_or : t -> int64 -> int64
+(** [next_due_or t default] is {!next_due} without the option box —
+    the allocation-free form the tickless executors poll every
+    dispatch. *)
+
+val note_burst : t -> int64 -> unit
+(** Record that an executor fast-forwarded a compute burst of the given
+    length in one step instead of slicing it into quanta (E21). Pure
+    bookkeeping — reported by {!burst_jumps} / {!burst_skipped}, never
+    printed by experiments. *)
+
+val note_idle : t -> int64 -> unit
+(** Record an idle-quantum skip performed by an executor's own jump
+    (the SMP round loop); {!idle_to_next} records its own. *)
+
+val idle_jumps : t -> int
+(** How many times {!idle_to_next} jumped the clock forward. *)
+
+val idle_skipped : t -> int64
+(** Total virtual cycles {!idle_to_next} jumped over. *)
+
+val burst_jumps : t -> int
+(** How many compute bursts were fast-forwarded ({!note_burst}). *)
+
+val burst_skipped : t -> int64
+(** Total virtual cycles fast-forwarded through compute bursts. *)
+
 val burn : t -> int64 -> unit
 (** [burn t cycles] advances the clock by [cycles] and dispatches any events
     that became due. This is the simulator's only way of "spending time". *)

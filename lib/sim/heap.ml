@@ -56,6 +56,24 @@ let push h ~time value =
 
 let min_time h = if h.size = 0 then None else Some h.data.(0).time
 
+(* Allocation-free {!min_time}: the sentinel comes back when empty. *)
+let[@inline] min_time_or h default =
+  if h.size = 0 then default else h.data.(0).time
+
+exception Empty
+
+(* Allocation-free {!pop}: the value without the [(time, value)] box.
+   @raise Empty when the heap is empty. *)
+let pop_exn h =
+  if h.size = 0 then raise Empty;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top.value
+
 let pop h =
   if h.size = 0 then None
   else begin

@@ -76,8 +76,21 @@ type core = {
   mutable pending_shootdown : int;
 }
 
+(* Pre-resolved counter ids for the cross-core hot path (E21): IPC
+   posts, IPIs, lock spins and shootdowns fire per message or per
+   acquisition. Spawn and crash counters stay string-keyed (cold). *)
+type hot_ids = {
+  id_irq : int;
+  id_ipi : int;
+  id_spin_cycles : int;
+  id_shootdown : int;
+  id_shootdown_pages : int;
+  id_shootdown_acks : int;
+}
+
 type t = {
   mach : Machine.t;
+  ids : hot_ids;
   quantum : int;
   cores : core array;
   tbl : (tid, thread) Hashtbl.t;
@@ -100,8 +113,18 @@ let create ?(quantum = 1000) mach =
           pending_shootdown = 0;
         })
   in
+  let c = mach.Machine.counters in
   {
     mach;
+    ids =
+      {
+        id_irq = Counter.id c "smp.irq";
+        id_ipi = Counter.id c "smp.ipi";
+        id_spin_cycles = Counter.id c "smp.spin.cycles";
+        id_shootdown = Counter.id c "smp.shootdown";
+        id_shootdown_pages = Counter.id c "smp.shootdown.pages";
+        id_shootdown_acks = Counter.id c "smp.shootdown.acks";
+      };
     quantum;
     cores;
     tbl = Hashtbl.create 32;
@@ -190,7 +213,7 @@ let post t ?irq_cost ~dst tag =
       in
       let core = t.cores.(d.cpu) in
       core.pending_irq <- core.pending_irq + cost;
-      Counter.incr t.mach.Machine.counters "smp.irq";
+      Counter.incr_id t.mach.Machine.counters t.ids.id_irq;
       deliver t d ~visible:(Engine.now t.mach.Machine.engine) ~tag
 
 (* --- syscall-style handling --- *)
@@ -230,7 +253,7 @@ let rec handle t core th call =
               Machine.burn_on t.mach ~cpu:hw ipi_post_cost;
               let tcore = t.cores.(d.cpu) in
               tcore.pending_ipi <- tcore.pending_ipi + arch.Arch.ipi_cost;
-              Counter.incr counters "smp.ipi";
+              Counter.incr_id counters t.ids.id_ipi;
               Int64.add hw.Cpu.now (Int64.of_int arch.Arch.ipi_cost)
             end
             else
@@ -250,7 +273,7 @@ let rec handle t core th call =
         lk.contended <- lk.contended + 1;
         lk.spin_cycles <- Int64.add lk.spin_cycles spin;
         Accounts.charge_on t.mach.Machine.accounts ~cpu:th.cpu "smp.spin" spin;
-        Counter.add counters "smp.spin.cycles" (Int64.to_int spin);
+        Counter.add_id counters t.ids.id_spin_cycles (Int64.to_int spin);
         Cpu.advance hw (Int64.to_int spin)
       end;
       Machine.burn_on t.mach ~cpu:hw cycles;
@@ -258,8 +281,8 @@ let rec handle t core th call =
       make_ready th ~at:hw.Cpu.now R_unit
   | Shootdown { pages } ->
       let n = Array.length t.cores in
-      Counter.incr counters "smp.shootdown";
-      Counter.add counters "smp.shootdown.pages" (max 0 pages);
+      Counter.incr_id counters t.ids.id_shootdown;
+      Counter.add_id counters t.ids.id_shootdown_pages (max 0 pages);
       let cost =
         if n > 1 then
           shootdown_base_cost
@@ -275,7 +298,7 @@ let rec handle t core th call =
             c.pending_shootdown <-
               c.pending_shootdown + arch.Arch.shootdown_ack_cost;
             Tlb.flush_all c.hw.Cpu.tlb;
-            Counter.incr counters "smp.shootdown.acks"
+            Counter.incr_id counters t.ids.id_shootdown_acks
           end)
         t.cores;
       make_ready th ~at:hw.Cpu.now R_unit
@@ -403,7 +426,7 @@ let run_core t core ~round_start =
   loop ();
   !did
 
-let run ?until ?(max_rounds = 2_000_000) t =
+let run ?until ?(max_rounds = 2_000_000) ?(tickless = true) t =
   let eng = t.mach.Machine.engine in
   let stop () = match until with Some f -> f () | None -> false in
   let refill () =
@@ -467,8 +490,23 @@ let run ?until ?(max_rounds = 2_000_000) t =
         | Some tgt ->
             let delta = Int64.sub tgt (Engine.now eng) in
             (* Always at least one cycle so the loop can never stall on a
-               stale target. *)
-            Engine.burn eng (if Int64.compare delta 1L > 0 then delta else 1L);
+               stale target. With [tickless] off the gap is crossed in
+               quantum-sized hops that stop exactly at the target — same
+               clock at every dispatch, just more rounds. The test
+               suite's equivalence property leans on this. *)
+            let delta = if Int64.compare delta 1L > 0 then delta else 1L in
+            let step =
+              if tickless then begin
+                if Int64.compare delta (Int64.of_int t.quantum) > 0 then
+                  Engine.note_idle eng
+                    (Int64.sub delta (Int64.of_int t.quantum));
+                delta
+              end
+              else if Int64.compare delta (Int64.of_int t.quantum) > 0 then
+                Int64.of_int t.quantum
+              else delta
+            in
+            Engine.burn eng step;
             loop (rounds + 1)
     end
   in

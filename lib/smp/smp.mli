@@ -61,12 +61,17 @@ val post : t -> ?irq_cost:int -> dst:tid -> int -> unit
     billed [irq_cost] (default the profile's [irq_entry_cost]) in its
     ["smp.irq"] account before its next dispatch. *)
 
-val run : ?until:(unit -> bool) -> ?max_rounds:int -> t -> stop_reason
+val run :
+  ?until:(unit -> bool) -> ?max_rounds:int -> ?tickless:bool -> t -> stop_reason
 (** Round-robin the cores until idle, [until ()] turns true, or
     [max_rounds] (default 2_000_000) rounds elapse. Quanta where every
     core is blocked are skipped straight to the next engine event or
     message visibility, so idle virtual time costs no host time and is
-    charged to no account. *)
+    charged to no account. [~tickless:false] crosses those same gaps in
+    quantum-sized hops that stop exactly at the target instead — every
+    dispatch sees the identical clock, it just costs more rounds; the
+    test suite uses it as the reference for the tickless-equivalence
+    property (E21). *)
 
 (** {1 Thread operations} — valid only inside a {!spawn} body. *)
 

@@ -45,6 +45,17 @@ let with_account t name f =
   t.current <- name;
   Fun.protect ~finally:(fun () -> t.current <- previous) f
 
+(* Closure-free account switching for hot paths: callers save the
+   previous account and restore it themselves. Unlike {!with_account}
+   there is no [Fun.protect] — only use where the charged section
+   cannot raise (plain burns), or restore from an exception handler. *)
+let[@inline] swap t name =
+  let previous = t.current in
+  t.current <- name;
+  previous
+
+let[@inline] restore t previous = t.current <- previous
+
 let balance t name =
   match Hashtbl.find_opt t.balances name with Some c -> c.total | None -> 0L
 

@@ -42,6 +42,15 @@ val with_account : t -> string -> (unit -> 'a) -> 'a
     for "this stretch of work executes inside the VMM / Dom0 / the guest".
     Restores the previous account even on exceptions. *)
 
+val swap : t -> string -> string
+(** Switch the current account and return the previous one — the
+    closure-free {!with_account} for hot paths. The caller must
+    {!restore} the returned account; nothing restores it on an
+    exception, so only bracket code that cannot raise. *)
+
+val restore : t -> string -> unit
+(** Undo a {!swap}. *)
+
 val balance : t -> string -> int64
 (** Cycles charged to [name] so far, over all cores; [0L] if never
     charged. *)

@@ -57,8 +57,28 @@ type tcb = {
   senders : tid Queue.t;
 }
 
+(* Pre-resolved counter ids for the IPC/dispatch hot path (E21): interned
+   once at [create], bumped with [Counter.incr_id] (an array store) instead
+   of a per-call string hash. Cold paths (spawn, faults, kills, timeouts)
+   stay string-keyed. Interning eagerly is bit-for-bit safe: a counter that
+   never fires stays at zero and zero-valued counters are invisible in
+   dumps. *)
+type hot_ids = {
+  id_ipc_rendezvous : int;
+  id_ipc_words : int;
+  id_ipc_bytes : int;
+  id_map_denied : int;
+  id_map_pages : int;
+  id_map_skipped : int;
+  id_syscall : int;
+  id_space_switch : int;
+  id_irq_delivered : int;
+  id_batch_send : int;
+}
+
 type t = {
   mach : Machine.t;
+  ids : hot_ids;
   tcbs : (tid, tcb) Hashtbl.t;
   spaces : (int, Page_table.t) Hashtbl.t;
   alloc_ptr : (int, int ref) Hashtbl.t;
@@ -116,8 +136,22 @@ let create mach =
         Tlb.invalidate mach.Machine.tlb ~asid ~vpn;
         Machine.burn mach mach.Machine.arch.Arch.pt_update_cost
   in
+  let c = mach.Machine.counters in
   {
     mach;
+    ids =
+      {
+        id_ipc_rendezvous = Counter.id c "uk.ipc.rendezvous";
+        id_ipc_words = Counter.id c "uk.ipc.words";
+        id_ipc_bytes = Counter.id c "uk.ipc.bytes";
+        id_map_denied = Counter.id c "uk.ipc.map_denied";
+        id_map_pages = Counter.id c "uk.ipc.map_pages";
+        id_map_skipped = Counter.id c "uk.ipc.map_skipped";
+        id_syscall = Counter.id c "uk.syscall";
+        id_space_switch = Counter.id c "uk.space_switch";
+        id_irq_delivered = Counter.id c "uk.irq.delivered";
+        id_batch_send = Counter.id c "uk.ipc.batch_send";
+      };
     tcbs = Hashtbl.create 32;
     spaces;
     alloc_ptr = Hashtbl.create 16;
@@ -239,12 +273,12 @@ let filter_matches filter tid =
 let transfer_cost k msg =
   let arch = k.mach.Machine.arch in
   let counters = k.mach.Machine.counters in
-  Counter.incr counters "uk.ipc.rendezvous";
+  Counter.incr_id counters k.ids.id_ipc_rendezvous;
   let nwords = Array.length (words msg) in
-  Counter.add counters "uk.ipc.words" nwords;
+  Counter.add_id counters k.ids.id_ipc_words nwords;
   let extra = max 0 (nwords - Costs.free_words) in
   let bytes = str_total msg in
-  Counter.add counters "uk.ipc.bytes" bytes;
+  Counter.add_id counters k.ids.id_ipc_bytes bytes;
   let icache_miss =
     Cache.touch k.mach.Machine.icache ~region:"ipc.path"
       ~lines:Costs.icache_lines_ipc
@@ -287,14 +321,14 @@ let apply_map_items k ~(src : tcb) ~(dst : tcb) ~window msg =
               || not (Cap.check_quota k.caps ~dom:dst.asid ~n:1)
           | None -> false
         in
-        if denied then Counter.incr counters "uk.ipc.map_denied"
+        if denied then Counter.incr_id counters k.ids.id_map_denied
         else
           match
             Mapdb.map k.mapdb ~src_asid:src.asid ~src_vpn ~dst_asid:dst.asid
               ~dst_vpn ~writable:fpage.writable ~grant
           with
           | Ok () ->
-              Counter.incr counters "uk.ipc.map_pages";
+              Counter.incr_id counters k.ids.id_map_pages;
               (* Mirror the delegation in the cap layer: the receiver's
                  page cap is a tree child of the sender's (grant moves
                  the sender's cap instead, as in the Mapdb). *)
@@ -317,7 +351,7 @@ let apply_map_items k ~(src : tcb) ~(dst : tcb) ~window msg =
                          ~handle:info.Cap.i_handle ~to_dom:dst.asid
                          ~obj:dst_obj ~rights))
           | Error (`Source_not_mapped | `Dest_occupied | `Self_map) ->
-              Counter.incr counters "uk.ipc.map_skipped"
+              Counter.incr_id counters k.ids.id_map_skipped
       done)
     (map_items msg)
 
@@ -691,14 +725,27 @@ let handle_syscall k (tcb : tcb) call =
       tcb.burn_left <- max 0 n;
       ready k tcb R_unit
   | Yield ->
-      Counter.incr k.mach.Machine.counters "uk.syscall";
-      kcharged k (fun () -> syscall_overhead k);
+      Counter.incr_id k.mach.Machine.counters k.ids.id_syscall;
+      (* Flattened [kcharged] (E21): [syscall_overhead] is a plain burn
+         and cannot raise, so swap/restore replaces the per-call
+         closure. *)
+      let acc = k.mach.Machine.accounts in
+      let prev = Accounts.swap acc kernel_account in
+      syscall_overhead k;
+      Accounts.restore acc prev;
       ready k tcb R_unit
   | _ ->
-      Counter.incr k.mach.Machine.counters "uk.syscall";
-      kcharged k (fun () ->
-          syscall_overhead k;
-          match call with
+      Counter.incr_id k.mach.Machine.counters k.ids.id_syscall;
+      (* Flattened [kcharged] (E21): the per-syscall closure was the one
+         steady-state allocation on the IPC path. The handler body never
+         continues a fiber (replies park in [tcb.pending] until the next
+         dispatch), so the explicit try/restore below is the only
+         exception edge. *)
+      let acc = k.mach.Machine.accounts in
+      let prev = Accounts.swap acc kernel_account in
+      (try
+         syscall_overhead k;
+         match call with
           | Burn _ | Yield -> assert false
           | Send (dst, m, timeout) ->
               begin_send ?timeout k ~src:tcb ~dst_tid:dst ~m ~wants_reply:false
@@ -803,7 +850,7 @@ let handle_syscall k (tcb : tcb) call =
                       | Blocked_call _ | Sleeping | Dead ->
                           ()))
                 msgs;
-              Counter.add k.mach.Machine.counters "uk.ipc.batch_send"
+              Counter.add_id k.mach.Machine.counters k.ids.id_batch_send
                 !delivered;
               ready k tcb (R_tid !delivered)
           | Set_pager pager ->
@@ -905,7 +952,11 @@ let handle_syscall k (tcb : tcb) call =
                       kburn k
                         (List.length vpns
                         * k.mach.Machine.arch.Arch.pt_update_cost);
-                      ready k tcb (R_vpns vpns))))
+                      ready k tcb (R_vpns vpns)))
+       with e ->
+         Accounts.restore acc prev;
+         raise e);
+      Accounts.restore acc prev
 
 (* --- Fibers --- *)
 
@@ -954,11 +1005,15 @@ let deliver_irqs k =
                 let burst = max 1 (Irq.burst irq line) in
                 Irq.ack irq line;
                 let arch = k.mach.Machine.arch in
-                kcharged k (fun () ->
-                    kburn k
-                      (arch.Arch.irq_entry_cost + Costs.irq_to_ipc
-                     + arch.Arch.irq_eoi_cost));
-                Counter.incr k.mach.Machine.counters "uk.irq.delivered";
+                (* Flattened [kcharged] (E21): a plain burn cannot
+                   raise. *)
+                let acc = k.mach.Machine.accounts in
+                let prev = Accounts.swap acc kernel_account in
+                kburn k
+                  (arch.Arch.irq_entry_cost + Costs.irq_to_ipc
+                 + arch.Arch.irq_eoi_cost);
+                Accounts.restore acc prev;
+                Counter.incr_id k.mach.Machine.counters k.ids.id_irq_delivered;
                 ready k handler (R_msg (irq_tid line, irq_message ~burst line))
             | Ready | Running | Blocked_send _ | Blocked_recv _
             | Blocked_call _ | Sleeping | Dead ->
@@ -992,16 +1047,68 @@ let pick k =
 (* Timer-tick quantum for user computation. *)
 let timeslice = 5_000
 
+(* Tickless burn fast-forward (E21): a long user burn is normally sliced
+   into [timeslice] quanta so timer IRQs and co-runnable threads can
+   preempt. When this thread is the only runnable one, no unmasked IRQ
+   is pending, and the next armed engine event lies beyond a whole
+   number of slices, executing those slices one by one is pure busywork:
+   every intermediate dispatch picks the same thread again. Burn the
+   whole multiple in one [Machine.burn] instead. Only whole multiples of
+   [timeslice] are fast-forwarded — the remainder takes the normal
+   sliced path — so burn arithmetic, account charges and dispatch-side
+   effects accumulate exactly as under slicing (bit-for-bit). *)
+let sole_runnable k (tcb : tcb) =
+  let sole = ref true in
+  Hashtbl.iter
+    (fun _ (o : tcb) ->
+      if o != tcb && o.state = Ready && not o.paused then sole := false)
+    k.tcbs;
+  !sole
+
+let no_irq_pending k =
+  let irq = k.mach.Machine.irq in
+  let pending = ref false in
+  for line = 0 to Irq.lines irq - 1 do
+    if Irq.is_pending irq line && not (Irq.is_masked irq line) then
+      pending := true
+  done;
+  not !pending
+
+let burst_quantum k (tcb : tcb) =
+  if tcb.burn_left < 2 * timeslice then min timeslice tcb.burn_left
+  else begin
+    let whole = tcb.burn_left - (tcb.burn_left mod timeslice) in
+    let fits =
+      Int64.compare
+        (Int64.add (Machine.now k.mach) (Int64.of_int whole))
+        (Engine.next_due_or k.mach.Machine.engine Int64.max_int)
+      <= 0
+    in
+    if fits && sole_runnable k tcb && no_irq_pending k then begin
+      Engine.note_burst k.mach.Machine.engine
+        (Int64.of_int (whole - timeslice));
+      whole
+    end
+    else min timeslice tcb.burn_left
+  end
+
 let dispatch k (tcb : tcb) =
   if tcb.asid <> k.current_asid then begin
-    kcharged k (fun () -> Mmu.switch_space k.mach (space_exn k tcb.asid));
+    (* Flattened [kcharged] (E21): resolve the space before swapping so
+       the only bracketed work is [Mmu.switch_space], which cannot
+       raise. *)
+    let space = space_exn k tcb.asid in
+    let acc = k.mach.Machine.accounts in
+    let prev = Accounts.swap acc kernel_account in
+    Mmu.switch_space k.mach space;
+    Accounts.restore acc prev;
     k.current_asid <- tcb.asid;
-    Counter.incr k.mach.Machine.counters "uk.space_switch"
+    Counter.incr_id k.mach.Machine.counters k.ids.id_space_switch
   end;
   tcb.state <- Running;
   Accounts.switch_to k.mach.Machine.accounts tcb.account;
   if tcb.burn_left > 0 then begin
-    let step = min timeslice tcb.burn_left in
+    let step = burst_quantum k tcb in
     Machine.burn k.mach step;
     tcb.burn_left <- tcb.burn_left - step;
     if tcb.state = Running then begin

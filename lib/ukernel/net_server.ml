@@ -38,8 +38,28 @@ type broker = {
   client_caps : (int, int) Hashtbl.t;  (** port -> client-held session cap *)
 }
 
+(* Pre-resolved counter ids for the per-packet rx path and the broker's
+   per-connection lookup (E21): interned once at [body], bumped via an
+   array store. Cold paths (attach/revoke, poll ticks) stay
+   string-keyed. *)
+type hot_ids = {
+  id_rx_shed : int;
+  id_shed : int;
+  id_rx_drop : int;
+  id_drop : int;
+  id_tx_busy : int;
+  id_mitig_poll_rounds : int;
+  id_mitig_reenable : int;
+  id_flow_hit : int;
+  id_flow_miss : int;
+  id_no_route : int;
+  id_rx_peak : int;
+  hist : Overload.batch_hist;
+}
+
 type state = {
   mach : Machine.t;
+  ids : hot_ids;
   free_tx : Frame.frame Queue.t;
   admit : Overload.Token_bucket.t option;
   fair : Overload.Weighted_buckets.t option;
@@ -73,8 +93,8 @@ let flush_rx st =
 let shed_rx st (ev : Nic.rx_event) =
   let counters = st.mach.Machine.counters in
   Sysif.burn shed_work;
-  Counter.incr counters "drv.net.rx_shed";
-  Counter.incr counters Overload.shed_counter;
+  Counter.incr_id counters st.ids.id_rx_shed;
+  Counter.incr_id counters st.ids.id_shed;
   Nic.post_rx_buffer st.mach.Machine.nic ev.Nic.frame
 
 (* Record the packet and immediately recycle the buffer: the driver
@@ -89,19 +109,19 @@ let accept_rx st (ev : Nic.rx_event) =
    with
   | Overload.Bounded_queue.Accepted -> ()
   | Overload.Bounded_queue.Rejected ->
-      Counter.incr counters "drv.net.rx_drop";
-      Counter.incr counters Overload.drop_counter
+      Counter.incr_id counters st.ids.id_rx_drop;
+      Counter.incr_id counters st.ids.id_drop
   | Overload.Bounded_queue.Displaced _ ->
       (* The newest packet is kept; the oldest queued one paid
          the price. *)
-      Counter.incr counters "drv.net.rx_drop";
-      Counter.incr counters Overload.drop_counter
+      Counter.incr_id counters st.ids.id_rx_drop;
+      Counter.incr_id counters st.ids.id_drop
   | Overload.Bounded_queue.Retry_until _ ->
       (* Blocking is meaningless in interrupt context; treat as
          a rejection. *)
-      Counter.incr counters "drv.net.rx_drop";
-      Counter.incr counters Overload.drop_counter);
-  Overload.note_queue_peak counters ~name:"net_rx"
+      Counter.incr_id counters st.ids.id_rx_drop;
+      Counter.incr_id counters st.ids.id_drop);
+  Overload.note_queue_peak_id counters st.ids.id_rx_peak
     (Overload.Bounded_queue.length st.rx_packets);
   Nic.post_rx_buffer st.mach.Machine.nic ev.Nic.frame
 
@@ -172,9 +192,9 @@ let poll_round st ~budget =
   | [] -> 0
   | evs ->
       Sysif.burn st.mach.Machine.arch.Arch.poll_batch_cost;
-      Counter.incr counters Overload.mitig_poll_rounds_counter;
+      Counter.incr_id counters st.ids.id_mitig_poll_rounds;
       let n = List.length evs in
-      Overload.note_batch counters n;
+      Overload.note_batch_hist counters st.ids.hist n;
       let k =
         match st.admit with
         | None -> n
@@ -207,7 +227,7 @@ let napi_service st ~budget =
       drain_tx st;
       flush_rx_batched st;
       Sysif.irq_unmask line;
-      Counter.incr counters Overload.mitig_reenable_counter;
+      Counter.incr_id counters st.ids.id_mitig_reenable;
       if Nic.rx_pending nic > 0 || Nic.tx_completions_pending nic > 0
       then begin
         Sysif.irq_mask line;
@@ -239,7 +259,7 @@ let handle_client st client (m : Sysif.msg) =
     | None ->
         (* Transient exhaustion, not failure: tell the client to back
            off and retry (E15). *)
-        Counter.incr st.mach.Machine.counters "drv.net.tx_busy";
+        Counter.incr_id st.mach.Machine.counters st.ids.id_tx_busy;
         reply_safely client (Sysif.msg Proto.busy)
   end
   else if m.Sysif.label = Proto.net_recv then begin
@@ -333,28 +353,32 @@ let handle_client st client (m : Sysif.msg) =
             reply_safely client (Sysif.msg Proto.error)
         | Some src ->
         (
+        (* Allocation-free resolve (E21): [find_port]/[lookup_port]
+           return [-1] for a miss instead of boxing an option. *)
         let resolved =
-          match Vnet.Flow_cache.find vb.flows ~src ~dst with
-          | Some port ->
-              Sysif.burn Vnet.flow_hit_cost;
-              Counter.incr counters "vnet.flow_hit";
-              Some port
-          | None -> (
-              Sysif.burn Vnet.flow_miss_cost;
-              Counter.incr counters "vnet.flow_miss";
-              match
-                Vnet.Mac_table.lookup vb.mac
-                  ~now:(Engine.now st.mach.Machine.engine)
-                  dst
-              with
-              | Some port ->
-                  Vnet.Flow_cache.insert vb.flows ~src ~dst ~port;
-                  Some port
-              | None -> None)
+          let cached = Vnet.Flow_cache.find_port vb.flows ~src ~dst in
+          if cached >= 0 then begin
+            Sysif.burn Vnet.flow_hit_cost;
+            Counter.incr_id counters st.ids.id_flow_hit;
+            cached
+          end
+          else begin
+            Sysif.burn Vnet.flow_miss_cost;
+            Counter.incr_id counters st.ids.id_flow_miss;
+            let port =
+              Vnet.Mac_table.lookup_port vb.mac
+                ~now:(Engine.now st.mach.Machine.engine)
+                dst
+            in
+            if port >= 0 then
+              Vnet.Flow_cache.insert vb.flows ~src ~dst ~port;
+            port
+          end
         in
-        match Option.bind resolved (Hashtbl.find_opt vb.registry) with
-        | Some tid
-          when session_ok (Option.value resolved ~default:0) tid ->
+        match
+          if resolved < 0 then None else Hashtbl.find_opt vb.registry resolved
+        with
+        | Some tid when session_ok resolved tid ->
             reply_safely client
               (Sysif.msg Proto.ok ~items:[ Sysif.Words [| tid |] ])
         | Some _ ->
@@ -362,7 +386,7 @@ let handle_client st client (m : Sysif.msg) =
             Counter.incr counters "drv.net.vnet_denied";
             reply_safely client (Sysif.msg Proto.error)
         | None ->
-            Counter.incr counters "vnet.no_route";
+            Counter.incr_id counters st.ids.id_no_route;
             reply_safely client (Sysif.msg Proto.error)))
   end
   else reply_safely client (Sysif.msg Proto.error)
@@ -371,8 +395,24 @@ let body mach ?(rx_buffers = 16) ?admit ?fair ?rx_capacity
     ?(rx_policy = Overload.Bounded_queue.Drop_oldest) ?napi ?poll
     ?(vnet = false) ?(vnet_flow_capacity = 64) () =
   let st =
+    let c = mach.Machine.counters in
     {
       mach;
+      ids =
+        {
+          id_rx_shed = Counter.id c "drv.net.rx_shed";
+          id_shed = Counter.id c Overload.shed_counter;
+          id_rx_drop = Counter.id c "drv.net.rx_drop";
+          id_drop = Counter.id c Overload.drop_counter;
+          id_tx_busy = Counter.id c "drv.net.tx_busy";
+          id_mitig_poll_rounds = Counter.id c Overload.mitig_poll_rounds_counter;
+          id_mitig_reenable = Counter.id c Overload.mitig_reenable_counter;
+          id_flow_hit = Counter.id c "vnet.flow_hit";
+          id_flow_miss = Counter.id c "vnet.flow_miss";
+          id_no_route = Counter.id c "vnet.no_route";
+          id_rx_peak = Overload.queue_peak_id c ~name:"net_rx";
+          hist = Overload.batch_hist c;
+        };
       free_tx = Queue.create ();
       admit;
       fair;

@@ -74,8 +74,30 @@ type domain = {
    domain death), E19. *)
 type cap_ctx = Ctx_none | Ctx_unmap | Ctx_revoke | Ctx_kill of domid
 
+(* Hot-path counter ids, interned once at {!create} so the per-packet
+   and per-hypercall paths bump a preallocated array cell instead of
+   hashing a string (E21). Cold events (domain lifecycle, xenstore,
+   faults) keep the string API. *)
+type hot_ids = {
+  id_hypercall : int;
+  id_upcall : int;
+  id_evtchn_send : int;
+  id_grant_map : int;
+  id_grant_unmap : int;
+  id_grant_copy : int;
+  id_grant_transitive : int;
+  id_page_flip : int;
+  id_syscall_fast : int;
+  id_syscall_bounce : int;
+  id_pt_update : int;
+  id_shadow_sync : int;
+  id_world_switch : int;
+  id_irq : int;
+}
+
 type t = {
   mach : Machine.t;
+  ids : hot_ids;
   domains : (domid, domain) Hashtbl.t;
   irq_routes : (int, domid * port) Hashtbl.t;
   xenstore : (string, string) Hashtbl.t;
@@ -107,8 +129,26 @@ type stop_reason = Idle | Condition | Dispatch_limit
 let machine t = t.mach
 
 let create mach =
+  let c = mach.Machine.counters in
   {
     mach;
+    ids =
+      {
+        id_hypercall = Counter.id c "vmm.hypercall";
+        id_upcall = Counter.id c "vmm.upcall";
+        id_evtchn_send = Counter.id c "vmm.evtchn_send";
+        id_grant_map = Counter.id c "vmm.grant_map";
+        id_grant_unmap = Counter.id c "vmm.grant_unmap";
+        id_grant_copy = Counter.id c "vmm.grant_copy";
+        id_grant_transitive = Counter.id c "vmm.grant_transitive";
+        id_page_flip = Counter.id c "vmm.page_flip";
+        id_syscall_fast = Counter.id c "vmm.syscall_fast";
+        id_syscall_bounce = Counter.id c "vmm.syscall_bounce";
+        id_pt_update = Counter.id c "vmm.pt_update";
+        id_shadow_sync = Counter.id c "vmm.shadow_sync";
+        id_world_switch = Counter.id c "vmm.world_switch";
+        id_irq = Counter.id c "vmm.irq";
+      };
     domains = Hashtbl.create 8;
     irq_routes = Hashtbl.create 8;
     xenstore = Hashtbl.create 32;
@@ -268,7 +308,6 @@ let runnable_names h =
 
 (* --- cost helpers --- *)
 
-let vcharged h f = Accounts.with_account h.mach.Machine.accounts vmm_account f
 let vburn h cycles = Machine.burn h.mach cycles
 
 let touch_region h region =
@@ -278,7 +317,7 @@ let touch_region h region =
 
 let hypercall_overhead h region =
   let arch = h.mach.Machine.arch in
-  Counter.incr h.mach.Machine.counters "vmm.hypercall";
+  Counter.incr_id h.mach.Machine.counters h.ids.id_hypercall;
   vburn h (arch.Arch.trap_cost + Costs.hypercall_fixed + arch.Arch.kernel_exit_cost);
   touch_region h "vmm.hcall.dispatch";
   touch_region h region
@@ -292,10 +331,13 @@ let collect_events d =
 
 let wake_with_events h d =
   let ports = collect_events d in
-  Counter.incr h.mach.Machine.counters "vmm.upcall";
-  (* Upcall delivery executes on the woken domain's vcpu. *)
-  Accounts.with_account h.mach.Machine.accounts d.name (fun () ->
-      vburn h Costs.upcall);
+  Counter.incr_id h.mach.Machine.counters h.ids.id_upcall;
+  (* Upcall delivery executes on the woken domain's vcpu. Flattened
+     account swap: a plain burn cannot raise. *)
+  let acc = h.mach.Machine.accounts in
+  let prev = Accounts.swap acc d.name in
+  vburn h Costs.upcall;
+  Accounts.restore acc prev;
   ready h d (R_block (Events ports))
 
 let set_pending h (target : domain) port =
@@ -333,7 +375,7 @@ let do_evtchn_send h (src : domain) port =
   | Some (Bound { remote_dom; remote_port }) -> begin
       match find_alive h remote_dom with
       | Some target ->
-          Counter.incr h.mach.Machine.counters "vmm.evtchn_send";
+          Counter.incr_id h.mach.Machine.counters h.ids.id_evtchn_send;
           vburn h Costs.evtchn_send;
           set_pending h target remote_port;
           R_unit
@@ -457,7 +499,7 @@ let do_grant h (d : domain) ~to_dom ~frame ~readonly =
           match authority with
           | `Owner -> Cap.mint h.caps ~dom:d.domid ~obj ~rights:Cap.r_full
           | `Mapped mh -> (
-              Counter.incr h.mach.Machine.counters "vmm.grant_transitive";
+              Counter.incr_id h.mach.Machine.counters h.ids.id_grant_transitive;
               match
                 Cap.derive h.caps ~dom:d.domid ~handle:mh ~to_dom:d.domid
                   ~obj ~rights:Cap.r_full
@@ -486,7 +528,7 @@ let do_grant_map h (mapper : domain) ~dom ~gref =
       | Some entry when entry.g_to = mapper.domid ->
           entry.g_mapped_by <- mapper.domid :: entry.g_mapped_by;
           let arch = h.mach.Machine.arch in
-          Counter.incr h.mach.Machine.counters "vmm.grant_map";
+          Counter.incr_id h.mach.Machine.counters h.ids.id_grant_map;
           vburn h
             (Costs.grant_check + arch.Arch.pt_update_cost
            + arch.Arch.page_map_cost);
@@ -533,7 +575,7 @@ let do_grant_unmap h (mapper : domain) ~dom ~gref =
               (* Cap-less legacy entry: flat bookkeeping. *)
               entry.g_mapped_by <-
                 List.filter (fun id -> id <> mapper.domid) entry.g_mapped_by;
-              Counter.incr h.mach.Machine.counters "vmm.grant_unmap";
+              Counter.incr_id h.mach.Machine.counters h.ids.id_grant_unmap;
               vburn h h.mach.Machine.arch.Arch.pt_update_cost;
               R_unit
           | handles ->
@@ -581,7 +623,7 @@ let do_grant_transfer h (d : domain) ~to_dom ~frame =
     | Some target ->
         let arch = h.mach.Machine.arch in
         Frame.transfer h.mach.Machine.frames frame ~to_:target.name;
-        Counter.incr h.mach.Machine.counters "vmm.page_flip";
+        Counter.incr_id h.mach.Machine.counters h.ids.id_page_flip;
         (* The flip costs fixed bookkeeping plus two PTE updates and a TLB
            shootdown — independent of how many payload bytes the page
            carries. [CG05]'s central observation. *)
@@ -614,7 +656,7 @@ let do_grant_exchange h (d : domain) ~dom ~gref ~give =
             | None -> ());
             Frame.transfer h.mach.Machine.frames entry.g_frame ~to_:d.name;
             Frame.transfer h.mach.Machine.frames give ~to_:granter.name;
-            Counter.incr h.mach.Machine.counters "vmm.page_flip";
+            Counter.incr_id h.mach.Machine.counters h.ids.id_page_flip;
             let arch = h.mach.Machine.arch in
             vburn h
               (Costs.page_flip_fixed
@@ -638,7 +680,7 @@ let do_grant_copy h (d : domain) ~dom ~gref ~bytes ~tag =
     | Some granter -> begin
         match Hashtbl.find_opt granter.grants gref with
         | Some entry when entry.g_to = d.domid && not entry.g_readonly ->
-            Counter.incr h.mach.Machine.counters "vmm.grant_copy";
+            Counter.incr_id h.mach.Machine.counters h.ids.id_grant_copy;
             vburn h (Costs.grant_check + Arch.copy_cost h.mach.Machine.arch ~bytes);
             Frame.set_tag entry.g_frame tag;
             R_unit
@@ -657,15 +699,17 @@ let do_syscall_trap h (d : domain) =
   let arch = h.mach.Machine.arch in
   if shortcut_valid h d then begin
     (* Straight into the guest kernel: the VMM never runs. *)
-    Counter.incr h.mach.Machine.counters "vmm.syscall_fast";
-    Accounts.with_account h.mach.Machine.accounts d.name (fun () ->
-        vburn h (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost));
+    Counter.incr_id h.mach.Machine.counters h.ids.id_syscall_fast;
+    let acc = h.mach.Machine.accounts in
+    let prev = Accounts.swap acc d.name in
+    vburn h (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost);
+    Accounts.restore acc prev;
     R_syscall Fast_trap_gate
   end
   else begin
     (* Trap to the hypervisor, bounce into the guest kernel, return via
        the hypervisor again — the IPC-equivalent operation. *)
-    Counter.incr h.mach.Machine.counters "vmm.syscall_bounce";
+    Counter.incr_id h.mach.Machine.counters h.ids.id_syscall_bounce;
     vburn h
       (arch.Arch.trap_cost + Costs.syscall_bounce + arch.Arch.kernel_exit_cost
      + arch.Arch.trap_cost + arch.Arch.kernel_exit_cost);
@@ -731,8 +775,8 @@ let kill_domain h domid =
 (* Hypervisor work performed on behalf of a hypercall runs on the calling
    domain's vcpu and is charged to it, as Xen's accounting does; only
    world switches and physical-IRQ routing land on the anonymous "vmm"
-   account. *)
-let caller_charged f = f ()
+   account. (The old [caller_charged] wrapper was an identity whose only
+   effect was allocating a closure per hypercall — E21 removed it.) *)
 
 let handle_hypercall h (d : domain) call =
   match call with
@@ -744,18 +788,18 @@ let handle_hypercall h (d : domain) call =
       d.burn_left <- max 0 n;
       ready h d R_unit
   | H_dom_id ->
-      caller_charged (fun () -> hypercall_overhead h "vmm.hcall.dispatch");
+      ( hypercall_overhead h "vmm.hcall.dispatch");
       ready h d (R_domid d.domid)
   | H_yield ->
-      caller_charged (fun () -> hypercall_overhead h "vmm.hcall.sched");
+      ( hypercall_overhead h "vmm.hcall.sched");
       ready h d R_unit
   | H_poll ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.evtchn";
           let ports = collect_events d in
           ready h d (R_block (Events ports)))
   | H_block { timeout } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.sched";
           if Hashtbl.length d.pending_events > 0 then
             ready h d (R_block (Events (collect_events d)))
@@ -771,7 +815,7 @@ let handle_hypercall h (d : domain) call =
             | None -> ()
           end)
   | H_alloc_frames n ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.memory";
           if n <= 0 then ready h d (R_error Out_of_memory)
           else
@@ -781,14 +825,14 @@ let handle_hypercall h (d : domain) call =
                 ready h d (R_frames frames)
             | exception Frame.Out_of_frames -> ready h d (R_error Out_of_memory))
   | H_evtchn_alloc_unbound allowed ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.evtchn";
           let port = d.next_port in
           d.next_port <- d.next_port + 1;
           Hashtbl.add d.ports port (Unbound { allowed });
           ready h d (R_port port))
   | H_evtchn_bind { remote_dom; remote_port } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.evtchn";
           match find_alive h remote_dom with
           | None -> ready h d (R_error Dead_domain)
@@ -804,11 +848,11 @@ let handle_hypercall h (d : domain) call =
                   ready h d (R_port local)
               | Some _ | None -> ready h d (R_error Bad_port)))
   | H_evtchn_send port ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.evtchn";
           ready h d (do_evtchn_send h d port))
   | H_irq_bind line ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.irq";
           if not d.privileged then ready h d (R_error Permission_denied)
           else if line < 0 || line >= Irq.lines h.mach.Machine.irq then
@@ -822,31 +866,31 @@ let handle_hypercall h (d : domain) call =
           end)
   | H_gnttab_grant { to_dom; frame; readonly } ->
       (* Shared-memory grant-table write: no trap. *)
-      caller_charged (fun () -> ready h d (do_grant h d ~to_dom ~frame ~readonly))
+      ( ready h d (do_grant h d ~to_dom ~frame ~readonly))
   | H_gnttab_revoke gref ->
-      caller_charged (fun () -> ready h d (do_grant_revoke h d gref))
+      ( ready h d (do_grant_revoke h d gref))
   | H_gnttab_map { dom; gref } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.grant_map";
           ready h d (do_grant_map h d ~dom ~gref))
   | H_gnttab_unmap { dom; gref } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.grant_map";
           ready h d (do_grant_unmap h d ~dom ~gref))
   | H_gnttab_transfer { to_dom; frame } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.grant_transfer";
           ready h d (do_grant_transfer h d ~to_dom ~frame))
   | H_gnttab_exchange { dom; gref; give } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.grant_transfer";
           ready h d (do_grant_exchange h d ~dom ~gref ~give))
   | H_gnttab_copy { dom; gref; bytes; tag } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.grant_map";
           ready h d (do_grant_copy h d ~dom ~gref ~bytes ~tag))
   | H_pt_map { frame; vpn; writable } ->
-      caller_charged (fun () ->
+      (
           let arch = h.mach.Machine.arch in
           (match d.pt_mode with
           | Paravirt ->
@@ -856,7 +900,7 @@ let handle_hypercall h (d : domain) call =
               (* The guest's native PTE write faults on the write-protected
                  page table; the VMM decodes it and updates both the guest
                  table and the shadow. *)
-              Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+              Counter.incr_id h.mach.Machine.counters h.ids.id_shadow_sync;
               vburn h
                 (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
                + Costs.shadow_sync
@@ -866,18 +910,18 @@ let handle_hypercall h (d : domain) call =
             ready h d (R_error Permission_denied)
           else begin
             Page_table.map d.space ~vpn frame ~writable ~user:true;
-            Counter.incr h.mach.Machine.counters "vmm.pt_update";
+            Counter.incr_id h.mach.Machine.counters h.ids.id_pt_update;
             ready h d R_unit
           end)
   | H_pt_unmap vpn ->
-      caller_charged (fun () ->
+      (
           let arch = h.mach.Machine.arch in
           (match d.pt_mode with
           | Paravirt ->
               hypercall_overhead h "vmm.hcall.pt";
               vburn h (Costs.pt_validate + arch.Arch.pt_update_cost)
           | Shadow ->
-              Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+              Counter.incr_id h.mach.Machine.counters h.ids.id_shadow_sync;
               vburn h
                 (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
                + Costs.shadow_sync
@@ -885,10 +929,10 @@ let handle_hypercall h (d : domain) call =
               touch_region h "vmm.hcall.pt");
           ignore (Page_table.unmap d.space ~vpn);
           Tlb.invalidate h.mach.Machine.tlb ~asid:(Page_table.asid d.space) ~vpn;
-          Counter.incr h.mach.Machine.counters "vmm.pt_update";
+          Counter.incr_id h.mach.Machine.counters h.ids.id_pt_update;
           ready h d R_unit)
   | H_pt_batch ops ->
-      caller_charged (fun () ->
+      (
           let arch = h.mach.Machine.arch in
           let apply op =
             match op with
@@ -896,13 +940,13 @@ let handle_hypercall h (d : domain) call =
                 if bframe.Frame.owner = d.name then begin
                   Page_table.map d.space ~vpn:bvpn bframe ~writable:bwritable
                     ~user:true;
-                  Counter.incr h.mach.Machine.counters "vmm.pt_update"
+                  Counter.incr_id h.mach.Machine.counters h.ids.id_pt_update
                 end
             | Pt_unmap vpn ->
                 ignore (Page_table.unmap d.space ~vpn);
                 Tlb.invalidate h.mach.Machine.tlb
                   ~asid:(Page_table.asid d.space) ~vpn;
-                Counter.incr h.mach.Machine.counters "vmm.pt_update"
+                Counter.incr_id h.mach.Machine.counters h.ids.id_pt_update
           in
           (match d.pt_mode with
           | Paravirt ->
@@ -917,7 +961,7 @@ let handle_hypercall h (d : domain) call =
               (* Native PTE writes cannot be batched: each one faults. *)
               List.iter
                 (fun op ->
-                  Counter.incr h.mach.Machine.counters "vmm.shadow_sync";
+                  Counter.incr_id h.mach.Machine.counters h.ids.id_shadow_sync;
                   vburn h
                     (arch.Arch.trap_cost + arch.Arch.kernel_exit_cost
                    + Costs.shadow_sync
@@ -927,12 +971,12 @@ let handle_hypercall h (d : domain) call =
                 ops);
           ready h d R_unit)
   | H_set_trap_table { int80_direct } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.trap";
           d.int80_direct <- int80_direct;
           ready h d R_unit)
   | H_load_segment (sel, desc) ->
-      caller_charged (fun () ->
+      (
           (* Paravirtualised descriptor update: a real hypercall. *)
           hypercall_overhead h "vmm.hcall.trap";
           vburn h h.mach.Machine.arch.Arch.segment_reload_cost;
@@ -940,25 +984,25 @@ let handle_hypercall h (d : domain) call =
           ready h d R_unit)
   | H_syscall_trap -> ready h d (do_syscall_trap h d)
   | H_xs_write { path; value } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.dispatch";
           do_xs_write h path value;
           ready h d R_unit)
   | H_xs_read path ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.dispatch";
           ready h d (R_xs (Hashtbl.find_opt h.xenstore path)))
   | H_xs_rm path ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.dispatch";
           Hashtbl.remove h.xenstore path;
           ready h d R_unit)
   | H_xs_watch prefix ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.evtchn";
           ready h d (R_port (do_xs_watch h d prefix)))
   | H_dom_create { cd_name; cd_privileged; cd_weight; cd_body } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           if not d.privileged then ready h d (R_error Permission_denied)
           else if cd_weight < 1 then
@@ -972,11 +1016,11 @@ let handle_hypercall h (d : domain) call =
             ready h d (R_domid domid)
           end)
   | H_dom_alive domid ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           ready h d (R_bool (is_alive h domid)))
   | H_dom_pause domid ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           if not d.privileged then ready h d (R_error Permission_denied)
           else
@@ -987,7 +1031,7 @@ let handle_hypercall h (d : domain) call =
                 Counter.incr h.mach.Machine.counters "vmm.dom_pause";
                 ready h d R_unit)
   | H_dom_unpause domid ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           if not d.privileged then ready h d (R_error Permission_denied)
           else
@@ -1002,7 +1046,7 @@ let handle_hypercall h (d : domain) call =
                 then wake_with_events h target;
                 ready h d R_unit)
   | H_log_dirty { ld_dom; ld_enable } ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           if not d.privileged then ready h d (R_error Permission_denied)
           else
@@ -1016,7 +1060,7 @@ let handle_hypercall h (d : domain) call =
                 Hashtbl.reset target.dirty;
                 ready h d R_unit)
   | H_dirty_read domid ->
-      caller_charged (fun () ->
+      (
           hypercall_overhead h "vmm.hcall.domctl";
           if not d.privileged then ready h d (R_error Permission_denied)
           else
@@ -1084,12 +1128,14 @@ let route_irqs h =
           | Some d ->
               Irq.ack irq line;
               let arch = h.mach.Machine.arch in
-              vcharged h (fun () ->
-                  Counter.incr h.mach.Machine.counters "vmm.irq";
-                  vburn h
-                    (arch.Arch.irq_entry_cost + Costs.irq_route
-                   + arch.Arch.irq_eoi_cost);
-                  set_pending h d port)
+              let acc = h.mach.Machine.accounts in
+              let prev = Accounts.swap acc vmm_account in
+              Counter.incr_id h.mach.Machine.counters h.ids.id_irq;
+              vburn h
+                (arch.Arch.irq_entry_cost + Costs.irq_route
+               + arch.Arch.irq_eoi_cost);
+              set_pending h d port;
+              Accounts.restore acc prev
           | None -> Irq.ack irq line
         end
       | None -> ()
@@ -1128,20 +1174,66 @@ let charge_pass h d ~cycles =
    the domain re-enters the runnable set. *)
 let timeslice = 5_000
 
+(* Tickless fast-forward (E21): when the burning domain is the only
+   runnable one, no unmasked interrupt is pending and no engine event
+   falls due inside the burst, slicing it into quanta is pure overhead
+   — every intermediate dispatch would pick the same domain again. In
+   that case the whole whole-quantum part of the burst is consumed in
+   one step. Only multiples of [timeslice] are fast-forwarded so the
+   stride-scheduler pass arithmetic (one unit per 1k cycles, computed
+   per dispatch) accumulates exactly as the sliced execution would —
+   the bit-for-bit replay guard depends on it. *)
+let sole_runnable h (d : domain) =
+  let sole = ref true in
+  Hashtbl.iter
+    (fun _ o ->
+      if o != d && o.state = Ready && not o.paused then sole := false)
+    h.domains;
+  !sole
+
+let no_irq_pending h =
+  let irq = h.mach.Machine.irq in
+  let clear = ref true in
+  for line = 0 to Irq.lines irq - 1 do
+    if Irq.is_pending irq line && not (Irq.is_masked irq line) then
+      clear := false
+  done;
+  !clear
+
+let burst_quantum h (d : domain) =
+  if d.burn_left < 2 * timeslice then min timeslice d.burn_left
+  else begin
+    let whole = d.burn_left - (d.burn_left mod timeslice) in
+    let fits =
+      Int64.compare
+        (Int64.add (Machine.now h.mach) (Int64.of_int whole))
+        (Engine.next_due_or h.mach.Machine.engine Int64.max_int)
+      <= 0
+    in
+    if fits && sole_runnable h d && no_irq_pending h then begin
+      Engine.note_burst h.mach.Machine.engine
+        (Int64.of_int (whole - timeslice));
+      whole
+    end
+    else min timeslice d.burn_left
+  end
+
 let dispatch h (d : domain) =
   let t0 = Machine.now h.mach in
   if d.domid <> h.last_domid then begin
     let arch = h.mach.Machine.arch in
-    vcharged h (fun () ->
-        Counter.incr h.mach.Machine.counters "vmm.world_switch";
-        vburn h arch.Arch.world_switch_cost;
-        Mmu.switch_space h.mach d.space);
+    let acc = h.mach.Machine.accounts in
+    let prev = Accounts.swap acc vmm_account in
+    Counter.incr_id h.mach.Machine.counters h.ids.id_world_switch;
+    vburn h arch.Arch.world_switch_cost;
+    Mmu.switch_space h.mach d.space;
+    Accounts.restore acc prev;
     h.last_domid <- d.domid
   end;
   d.state <- Running;
   Accounts.switch_to h.mach.Machine.accounts d.name;
   (if d.burn_left > 0 then begin
-     let step = min timeslice d.burn_left in
+     let step = burst_quantum h d in
      Machine.burn h.mach step;
      d.burn_left <- d.burn_left - step;
      if d.state = Running then

@@ -16,9 +16,46 @@ let per_tx_work = 700
    than full delivery — the whole point of the livelock defense. *)
 let shed_work = 120
 
+(* Pre-resolved counter ids for the per-packet path (E21): interned once
+   at connect, bumped via an array store instead of a string hash on
+   every packet. Cold paths (handshake, teardown) stay string-keyed. *)
+type hot_ids = {
+  id_drop : int;
+  id_ring_drop : int;
+  id_ring_reject : int;
+  id_tx_packets : int;
+  id_rx_packets : int;
+  id_rx_bytes : int;
+  id_rx_ring_full : int;
+  id_rx_nobuf : int;
+  id_rx_shed : int;
+  id_shed : int;
+  id_txr_ring_full : int;
+  id_mitig_reenable : int;
+  id_mitig_poll_rounds : int;
+}
+
+let intern_hot_ids c =
+  {
+    id_drop = Counter.id c Overload.drop_counter;
+    id_ring_drop = Counter.id c "overload.ring_drop.net";
+    id_ring_reject = Counter.id c (Overload.ring_reject_prefix ^ "net");
+    id_tx_packets = Counter.id c "netback.tx_packets";
+    id_rx_packets = Counter.id c "netback.rx_packets";
+    id_rx_bytes = Counter.id c "netback.rx_bytes";
+    id_rx_ring_full = Counter.id c "netback.rx_ring_full";
+    id_rx_nobuf = Counter.id c "netback.rx_nobuf";
+    id_rx_shed = Counter.id c "netback.rx_shed";
+    id_shed = Counter.id c Overload.shed_counter;
+    id_txr_ring_full = Counter.id c "netback.txr_ring_full";
+    id_mitig_reenable = Counter.id c Overload.mitig_reenable_counter;
+    id_mitig_poll_rounds = Counter.id c Overload.mitig_poll_rounds_counter;
+  }
+
 type t = {
   chan : Net_channel.t;
   mach : Machine.t;
+  ids : hot_ids;
   front : Hcall.domid;
   my_port : Hcall.port;
   pool : Frame.frame Queue.t;  (** Dom0-owned buffers for NIC posting. *)
@@ -99,10 +136,12 @@ let connect_opt ?timeout ?(generation = 0) ?admit ?fair ?napi
               chan.Net_channel.back_port <- Some my_port;
               Hcall.xs_write ~path:(sub "backend-port")
                 ~value:(string_of_int my_port);
+              let ids = intern_hot_ids mach.Machine.counters in
               let t =
                 {
                   chan;
                   mach;
+                  ids;
                   front;
                   my_port;
                   pool = Queue.create ();
@@ -130,12 +169,11 @@ let connect_opt ?timeout ?(generation = 0) ?admit ?fair ?napi
                  (the old shared hook multi-counted every retried tx
                  attempt as a drop). *)
               let count_ring_drop () =
-                Counter.incr mach.Machine.counters Overload.drop_counter;
-                Counter.incr mach.Machine.counters "overload.ring_drop.net"
+                Counter.incr_id mach.Machine.counters ids.id_drop;
+                Counter.incr_id mach.Machine.counters ids.id_ring_drop
               in
               let count_ring_reject () =
-                Counter.incr mach.Machine.counters
-                  (Overload.ring_reject_prefix ^ "net")
+                Counter.incr_id mach.Machine.counters ids.id_ring_reject
               in
               Ring.on_response_drop chan.Net_channel.tx_ring count_ring_drop;
               Ring.on_response_drop chan.Net_channel.rx_ring count_ring_drop;
@@ -185,13 +223,13 @@ let handle_event t =
                     { Net_channel.txr_gref = tx_gref; txr_mark = mark }
                 then t.dirty <- true
                 else
-                  Counter.incr t.mach.Machine.counters
-                    "netback.txr_ring_full"
+                  Counter.incr_id t.mach.Machine.counters
+                    t.ids.id_txr_ring_full
             | None ->
                 Hashtbl.replace t.tx_pending frame.Frame.index tx_gref;
                 Nic.submit_tx t.mach.Machine.nic frame ~len:tx_len);
             t.tx_forwarded <- t.tx_forwarded + 1;
-            Counter.incr t.mach.Machine.counters "netback.tx_packets";
+            Counter.incr_id t.mach.Machine.counters t.ids.id_tx_packets;
             drain_tx ()
         | exception Hcall.Hcall_error _ -> drain_tx ()
       end
@@ -207,8 +245,8 @@ let handle_event t =
    had counted it too, which was never true). *)
 let rx_ring_full t =
   if Ring.response_space t.chan.Net_channel.rx_ring = 0 then begin
-    Counter.incr t.mach.Machine.counters "netback.rx_ring_full";
-    Counter.incr t.mach.Machine.counters Overload.drop_counter;
+    Counter.incr_id t.mach.Machine.counters t.ids.id_rx_ring_full;
+    Counter.incr_id t.mach.Machine.counters t.ids.id_drop;
     true
   end
   else false
@@ -224,9 +262,9 @@ let deliver_flip t (ev : Nic.rx_event) =
     match Queue.take_opt t.flip_posts with
     | None ->
         t.dropped_nobuf <- t.dropped_nobuf + 1;
-        Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        Counter.incr_id t.mach.Machine.counters t.ids.id_rx_nobuf;
         (* Accepted payload discarded: a real drop (was uncounted). *)
-        Counter.incr t.mach.Machine.counters Overload.drop_counter;
+        Counter.incr_id t.mach.Machine.counters t.ids.id_drop;
         Queue.add ev.Nic.frame t.pool;
         false
     | Some gref -> begin
@@ -256,9 +294,9 @@ let deliver_copy t (ev : Nic.rx_event) =
     match Queue.take_opt t.copy_grants with
     | None ->
         t.dropped_nobuf <- t.dropped_nobuf + 1;
-        Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
+        Counter.incr_id t.mach.Machine.counters t.ids.id_rx_nobuf;
         (* Accepted payload discarded: a real drop (was uncounted). *)
-        Counter.incr t.mach.Machine.counters Overload.drop_counter;
+        Counter.incr_id t.mach.Machine.counters t.ids.id_drop;
         Queue.add ev.Nic.frame t.pool;
         false
     | Some gref -> begin
@@ -286,15 +324,15 @@ let deliver_copy t (ev : Nic.rx_event) =
 let shed_one t (ev : Nic.rx_event) =
   Hcall.burn shed_work;
   t.rx_shed <- t.rx_shed + 1;
-  Counter.incr t.mach.Machine.counters "netback.rx_shed";
-  Counter.incr t.mach.Machine.counters Overload.shed_counter;
+  Counter.incr_id t.mach.Machine.counters t.ids.id_rx_shed;
+  Counter.incr_id t.mach.Machine.counters t.ids.id_shed;
   Queue.add ev.Nic.frame t.pool
 
 let deliver_admitted t (ev : Nic.rx_event) =
   pump_frontend_posts t;
   Hcall.burn per_packet_work;
-  Counter.incr t.mach.Machine.counters "netback.rx_packets";
-  Counter.add t.mach.Machine.counters "netback.rx_bytes" ev.Nic.len;
+  Counter.incr_id t.mach.Machine.counters t.ids.id_rx_packets;
+  Counter.add_id t.mach.Machine.counters t.ids.id_rx_bytes ev.Nic.len;
   let ok =
     match t.chan.Net_channel.mode with
     | Net_channel.Flip -> deliver_flip t ev
@@ -353,8 +391,8 @@ let deliver_pkt t ~len ~tag =
   match Queue.take_opt t.pool with
   | None ->
       t.dropped_nobuf <- t.dropped_nobuf + 1;
-      Counter.incr t.mach.Machine.counters "netback.rx_nobuf";
-      Counter.incr t.mach.Machine.counters Overload.drop_counter;
+      Counter.incr_id t.mach.Machine.counters t.ids.id_rx_nobuf;
+      Counter.incr_id t.mach.Machine.counters t.ids.id_drop;
       false
   | Some frame ->
       Frame.set_tag frame tag;
@@ -388,7 +426,7 @@ let complete_tx t (frame : Frame.frame) =
       else
         (* The frontend is not reaping tx completions; it will see the
            buffer as lost. The ring's on_drop hook counted the drop. *)
-        Counter.incr t.mach.Machine.counters "netback.txr_ring_full";
+        Counter.incr_id t.mach.Machine.counters t.ids.id_txr_ring_full;
       true
   | None -> false
 
@@ -427,7 +465,7 @@ let napi_service t ~budget =
         flush t;
         Vmk_hw.Irq.ack mach.Machine.irq line;
         Vmk_hw.Irq.unmask mach.Machine.irq line;
-        Counter.incr counters Overload.mitig_reenable_counter;
+        Counter.incr_id counters t.ids.id_mitig_reenable;
         if Nic.rx_pending nic > 0 || Nic.tx_completions_pending nic > 0
         then begin
           Vmk_hw.Irq.mask mach.Machine.irq line;
@@ -435,7 +473,7 @@ let napi_service t ~budget =
         end
     | evs ->
         Hcall.burn mach.Machine.arch.Arch.poll_batch_cost;
-        Counter.incr counters Overload.mitig_poll_rounds_counter;
+        Counter.incr_id counters t.ids.id_mitig_poll_rounds;
         Overload.note_batch counters (List.length evs);
         deliver_batch t evs;
         drain_tx_done t;

@@ -48,10 +48,13 @@ module Mac_table : sig
 
   val learn : t -> now:int64 -> mac:int -> port:int -> unit
   (** Bind (or refresh) [mac] to [port]; a changed port is a station
-      move and rebinds. *)
+      move and rebinds. Allocation-free. *)
 
   val lookup : t -> now:int64 -> int -> int option
   (** Resolve a MAC; expired entries are removed and miss. *)
+
+  val lookup_port : t -> now:int64 -> int -> int
+  (** Allocation-free {!lookup}: [-1] = miss (ports are non-negative). *)
 
   val size : t -> int
   val learns : t -> int
@@ -70,6 +73,10 @@ module Flow_cache : sig
   (** @raise Invalid_argument if [capacity < 1]. *)
 
   val find : t -> src:int -> dst:int -> int option
+
+  val find_port : t -> src:int -> dst:int -> int
+  (** Allocation-free {!find}: [-1] = miss (ports are non-negative). *)
+
   val insert : t -> src:int -> dst:int -> port:int -> unit
 
   val invalidate : t -> mac:int -> unit
@@ -89,12 +96,15 @@ module Switch : sig
   type t
 
   type delivery = {
-    enqueued : int;  (** Ports the packet was queued on. *)
-    marked : bool;
+    mutable enqueued : int;  (** Ports the packet was queued on. *)
+    mutable marked : bool;
         (** A destination queue is past its ECN watermark — bounce this
             to the sender so it backs off before drops start. *)
-    flood : bool;
+    mutable flood : bool;
   }
+  (** The record returned by {!forward} is a per-switch scratch, reused
+      on every call — read it before the next forward (E21: the steady
+      state allocates nothing). *)
 
   val create :
     ?counters:Vmk_trace.Counter.set ->
@@ -127,9 +137,25 @@ module Switch : sig
       [overload.drop].
       @raise Invalid_argument on an unknown [in_port]. *)
 
+  val forward_to :
+    t ->
+    now:int64 ->
+    in_port:int ->
+    src:int ->
+    dst:int ->
+    len:int ->
+    tag:int ->
+    delivery
+  (** {!forward} without materializing a [pkt] record — the
+      allocation-free hot-path entry point. *)
+
   val pop : t -> port:int -> pkt option
   (** Dequeue the next packet waiting on a port (the port's backend
       drains this into its guest). *)
+
+  val discard : t -> port:int -> bool
+  (** Drop the next packet waiting on a port without materializing it —
+      the allocation-free form of [ignore (pop t ~port)]. *)
 
   val pending : t -> port:int -> int
   val port_marked : t -> port:int -> bool

@@ -191,6 +191,76 @@ let test_e14_same_seed_identical () =
       Alcotest.(check bool) "bit-for-bit identical" true (a = b))
     [ E.Uk_colocated; E.Uk_pinned; E.Vmm_dom0; E.Vmm_drivers ]
 
+(* --- E21: tickless equivalence --- *)
+
+(* The tickless round loop (jump straight across an all-blocked gap to
+   the next engine event or message visibility) must be observationally
+   identical to the quantum-stepped reference ([~tickless:false]): same
+   stop reason, final clock, counters, accounts (total and per-CPU) and
+   the same messages received in the same order. Randomized multi-core
+   workloads of burns, sends, receives, yields and delayed device
+   interrupts; the interrupts arm engine events tens of quanta out so
+   real idle gaps get jumped. *)
+
+let run_random_workload ~tickless ~cpus ~ops =
+  let mach = Machine.create ~cpus ~seed:42L () in
+  let smp = Smp.create mach in
+  let nthreads = cpus + 1 in
+  let tids = Array.make nthreads 0 in
+  let trace = ref [] in
+  let per_thread = Array.make nthreads [] in
+  List.iteri
+    (fun i op ->
+      let slot = i mod nthreads in
+      per_thread.(slot) <- op :: per_thread.(slot))
+    ops;
+  for i = 0 to nthreads - 1 do
+    let script = List.rev per_thread.(i) in
+    tids.(i) <-
+      Smp.spawn smp
+        ~name:(Printf.sprintf "w%d" i)
+        ~cpu:(i mod cpus)
+        (fun () ->
+          List.iter
+            (fun (kind, dst, amount) ->
+              match kind with
+              | 0 -> Smp.burn (100 + amount)
+              | 1 ->
+                  Smp.send
+                    ~dst:tids.(dst mod nthreads)
+                    ~tag:((i * 10_000) + amount)
+                    ~cycles:(50 + amount)
+              | 2 -> trace := (i, Smp.recv ()) :: !trace
+              | _ -> Smp.yield ())
+            script)
+  done;
+  let eng = mach.Machine.engine in
+  for j = 0 to (2 * cpus) - 1 do
+    Vmk_sim.Engine.after eng
+      (Int64.of_int ((j + 1) * 37_500))
+      (fun () -> Smp.post smp ~dst:tids.(j mod nthreads) (900 + j))
+  done;
+  let reason = Smp.run ~tickless smp in
+  ( reason,
+    Machine.now mach,
+    Counter.to_list mach.Machine.counters,
+    Accounts.to_list mach.Machine.accounts,
+    List.init cpus (fun c -> Accounts.to_cpu_list mach.Machine.accounts ~cpu:c),
+    List.rev !trace )
+
+let prop_tickless_equivalence =
+  QCheck.Test.make
+    ~name:"smp: tickless run bit-identical to quantum-stepped reference"
+    ~count:40
+    QCheck.(
+      pair (int_range 2 4)
+        (list_of_size
+           Gen.(10 -- 50)
+           (triple (int_bound 3) (int_bound 7) (int_bound 900))))
+    (fun (cpus, ops) ->
+      run_random_workload ~tickless:true ~cpus ~ops
+      = run_random_workload ~tickless:false ~cpus ~ops)
+
 let test_e14_shapes () =
   let module E = Vmk_core.Exp_e14 in
   let tput kind cores = E.throughput (E.run_case ~kind ~cores ~packets:240) in
@@ -215,4 +285,5 @@ let suite =
     Alcotest.test_case "e14 same seed identical" `Quick
       test_e14_same_seed_identical;
     Alcotest.test_case "e14 scaling shapes" `Quick test_e14_shapes;
+    QCheck_alcotest.to_alcotest prop_tickless_equivalence;
   ]

@@ -37,6 +37,30 @@ let test_counter_matching_prefix () =
   check_int "sum ipc.*" 5 (Counter.sum_matching s ~prefix:"ipc.");
   check_int "matching count" 2 (List.length (Counter.matching s ~prefix:"ipc."))
 
+let test_counter_interned_id_same_cell () =
+  (* E21 hot paths intern once and bump by id; the string shim must hit
+     the very same cell, whichever API touched the name first. *)
+  let s = Counter.create_set () in
+  Counter.incr s "uk.ipc.rendezvous" (* string API creates the cell *);
+  let id = Counter.id s "uk.ipc.rendezvous" in
+  Counter.incr_id s id;
+  Counter.add s "uk.ipc.rendezvous" 3;
+  Counter.add_id s id 5;
+  check_int "both APIs hit one cell (string view)" 10
+    (Counter.get s "uk.ipc.rendezvous");
+  check_int "both APIs hit one cell (id view)" 10 (Counter.get_id s id);
+  check_int "re-interning is stable" id (Counter.id s "uk.ipc.rendezvous");
+  Alcotest.(check string) "id resolves back to its name" "uk.ipc.rendezvous"
+    (Counter.name s id);
+  (* Interning alone leaves the counter at zero and invisible in dumps,
+     so eager wiring cannot perturb replay output. *)
+  let s2 = Counter.create_set () in
+  ignore (Counter.id s2 "wired.but.never.hit");
+  check_bool "interned-but-zero not listed" true (Counter.to_list s2 = []);
+  Alcotest.check_raises "negative add_id rejected"
+    (Invalid_argument "Counter.add: negative amount") (fun () ->
+      Counter.add_id s id (-1))
+
 let test_counter_to_list_sorted () =
   let s = Counter.create_set () in
   Counter.incr s "zeta";
@@ -153,6 +177,8 @@ let suite =
     Alcotest.test_case "counter: reset" `Quick test_counter_reset_keeps_names;
     Alcotest.test_case "counter: prefix matching" `Quick
       test_counter_matching_prefix;
+    Alcotest.test_case "counter: interned id shares the string cell" `Quick
+      test_counter_interned_id_same_cell;
     Alcotest.test_case "counter: sorted listing" `Quick
       test_counter_to_list_sorted;
     Alcotest.test_case "accounts: charge and share" `Quick
