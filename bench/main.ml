@@ -209,39 +209,16 @@ let saturated_ring_push pushes () =
     ignore (Vmk_vmm.Ring.push_request ring i)
   done
 
-(* E17: the virtual switch's forwarding hot path at 2/4/8 attached
+(* E17/E21: the virtual switch's forwarding hot path at 2/4/8 attached
    guests — pairwise flows over pre-learned stations, pop after each
    forward so the port queues stay shallow (steady state, flow-cache
-   hits dominating). E21 moved the loop onto the allocation-free entry
-   points ([forward_to]/[discard]); the measured work — learn, admit,
-   resolve, enqueue, dequeue per packet — is unchanged. *)
-let switch_forward guests packets () =
-  let module Vnet = Vmk_vnet.Vnet in
-  let s = Vnet.Switch.create () in
-  let mt = Vnet.Switch.mac_table s in
-  for id = 1 to guests do
-    ignore (Vnet.Switch.add_port s ~id);
-    Vnet.Mac_table.learn mt ~now:0L ~mac:id ~port:id
-  done;
-  (* Wrap-around source cycling — same pairwise sequence as
-     [(i mod guests) + 1] without paying an integer division per
-     packet in the driver. *)
-  let cur = ref 0 in
-  for _ = 0 to packets - 1 do
-    let src = !cur + 1 in
-    let dst = (if src >= guests then 0 else src) + 1 in
-    cur := (if src >= guests then 0 else src);
-    ignore
-      (Vnet.Switch.forward_to s ~now:0L ~in_port:src ~src ~dst ~len:512
-         ~tag:((dst * 1_000_000) + (src * 10_000)));
-    ignore (Vnet.Switch.discard s ~port:dst)
-  done
-
-(* E21: the same steady-state forwarding loop over a switch built once
-   outside the measured closure — what a long sweep actually pays per
-   packet, with creation amortized away. The [minor_allocated] column
-   for these entries is the "Gc words/packet = 0" acceptance check. *)
-let switch_forward_steady guests packets =
+   hits dominating). Setup (switch creation, port attach, MAC learning)
+   is staged outside the timed closure: the pre-E22 [e17_*] entries
+   timed the constructor alongside the ~200-packet loop, so their old
+   baselines measured mostly setup — both BENCH files were refreshed
+   when the hoist landed. The [minor_allocated] column is the
+   "Gc words/packet = 0" acceptance check from E21. *)
+let switch_forward guests packets =
   let module Vnet = Vmk_vnet.Vnet in
   let s = Vnet.Switch.create () in
   let mt = Vnet.Switch.mac_table s in
@@ -250,6 +227,9 @@ let switch_forward_steady guests packets =
     Vnet.Mac_table.learn mt ~now:0L ~mac:id ~port:id
   done;
   fun () ->
+    (* Wrap-around source cycling — same pairwise sequence as
+       [(i mod guests) + 1] without paying an integer division per
+       packet in the driver. *)
     let cur = ref 0 in
     for _ = 0 to packets - 1 do
       let src = !cur + 1 in
@@ -260,6 +240,58 @@ let switch_forward_steady guests packets =
            ~tag:((dst * 1_000_000) + (src * 10_000)));
       ignore (Vnet.Switch.discard s ~port:dst)
     done
+
+(* The historical E21 entry names; identical to [switch_forward] now
+   that both stage their setup. Kept so the BENCH_e21 series reads
+   continuously. *)
+let switch_forward_steady = switch_forward
+
+(* E22: the scenario engine's hot pieces — streaming sketch ingest, the
+   cross-shard merge, schedule generation, and a small end-to-end day
+   slice through [run_cell] on each stack. *)
+let sketch_add samples =
+  let module Sk = Vmk_stats.Quantile.Sketch in
+  let rng = Vmk_sim.Rng.create ~seed:42L () in
+  let data = Array.init samples (fun _ -> Vmk_sim.Rng.int rng 1_000_000) in
+  fun () ->
+    let sk = Sk.create () in
+    for i = 0 to samples - 1 do
+      Sk.add sk data.(i)
+    done;
+    ignore (Sk.quantile sk 0.999)
+
+let sketch_merge shards samples =
+  let module Sk = Vmk_stats.Quantile.Sketch in
+  let rng = Vmk_sim.Rng.create ~seed:43L () in
+  let sks =
+    Array.init shards (fun _ ->
+        let sk = Sk.create () in
+        for _ = 1 to samples do
+          Sk.add sk (Vmk_sim.Rng.int rng 1_000_000)
+        done;
+        sk)
+  in
+  fun () ->
+    let into = Sk.create () in
+    Array.iter (fun s -> Sk.merge_into ~into s) sks;
+    ignore (Sk.quantile into 0.999)
+
+let scenario_generate () =
+  let module S = Vmk_workloads.Scenario in
+  ignore
+    (S.generate ~seed:44L
+       {
+         S.tenants = 8;
+         guests = 8;
+         mean_flow_gap = 20_000.0;
+         zipf_alpha = 2.6;
+         size_min = 1;
+         size_max = 256;
+         on_mean = 80_000.0;
+         off_mean = 40_000.0;
+         ramp = S.diurnal;
+         horizon = 4_000_000L;
+       })
 
 (* E21 decomposition: the counter path alone, interned id vs string
    shim, 1000 bumps per run. *)
@@ -433,6 +465,15 @@ let entries =
     ("e21_fwd_steady_8g_x200", Staged.stage (switch_forward_steady 8 200));
     ("e21_counter_incr_id_x1000", Staged.stage (counter_incr_id 1000));
     ("e21_counter_incr_str_x1000", Staged.stage (counter_incr_string 1000));
+    ("e22_sketch_add_x1000", Staged.stage (sketch_add 1000));
+    ("e22_sketch_merge_8x1000", Staged.stage (sketch_merge 8 1000));
+    ("e22_scenario_gen_8t", Staged.stage scenario_generate);
+    ( "e22_day_slice_vmm",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e22.bench_slice ~stack:Vmk_core.Exp_e22.Vmm ())) );
+    ( "e22_day_slice_uk",
+      Staged.stage (fun () ->
+          ignore (Vmk_core.Exp_e22.bench_slice ~stack:Vmk_core.Exp_e22.Uk ())) );
     ( "e17_pairwise_vmm_2g_x6",
       Staged.stage (fun () ->
           ignore (Vmk_core.Exp_e17.pairwise ~stack:Vmk_core.Exp_e17.Vmm ~guests:2 ~count:6)) );

@@ -1,0 +1,55 @@
+(** Streaming quantile estimators: fixed memory, online, built for the
+    million-sample runs of E22 where O(n) sample buffers are off-limits. *)
+
+module Sketch : sig
+  (** Log-linear bucket sketch over non-negative integer samples with
+      bounded relative error [2^-bits] and {e exact} mergeability:
+      merging per-shard sketches is elementwise bucket addition, so the
+      merged sketch is bit-identical to a single sketch fed the
+      concatenated stream in any order. *)
+
+  type t
+
+  val create : ?bits:int -> unit -> t
+  (** [create ?bits ()] — [bits] (default 7) is the subbucket mantissa
+      width; quantile estimates are within relative error [2^-bits].
+      Values below [2^bits] are stored exactly. *)
+
+  val add : t -> int -> unit
+  (** O(1), allocation-free. Raises [Invalid_argument] on negatives. *)
+
+  val count : t -> int
+  val min_value : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0,1]: nearest-rank estimate, clamped to
+      the exact observed [min,max] (so constant streams are exact).
+      Returns [0.0] on an empty sketch. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Elementwise bucket addition; raises on [bits] mismatch. *)
+
+  val fingerprint : t -> int
+  (** Deterministic digest of the full bucket state, for bit-for-bit
+      replay checks. *)
+end
+
+module P2 : sig
+  (** Jain & Chlamtac's P-squared single-quantile estimator: five
+      markers, parabolic interpolation, O(1) memory. Not mergeable —
+      use {!Sketch} for sharded collection. *)
+
+  type t
+
+  val create : float -> t
+  (** [create p] for the target quantile [p] in (0,1). *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val value : t -> float
+  (** Current estimate; exact (nearest-rank over the buffered samples)
+      while fewer than five observations have arrived. *)
+end

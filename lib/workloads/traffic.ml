@@ -44,5 +44,33 @@ let poisson_rate mach ~gate ~mean_period ~len ~count ?(key = 1) () =
   schedule first;
   t
 
+let replay mach sched ~len ?(pkt_gap = 200L) ?on_inject () =
+  let t = { injected = 0; count = Scenario.total_packets sched } in
+  let engine = mach.Machine.engine in
+  let n = Scenario.flows sched in
+  (* Open-loop by design: no gate, no backoff. The schedule's absolute
+     arrival times are replayed verbatim, so a congested stack sees the
+     full offered load and the damage shows up at the sink (E22). *)
+  let rec chain ~flow ~seq at =
+    Engine.at engine at (fun () ->
+        inject ?on_inject mach t ~key:(Scenario.dst sched flow) ~len;
+        if seq + 1 < Scenario.size sched flow then
+          chain ~flow ~seq:(seq + 1) (Int64.add at pkt_gap))
+  in
+  (* One walker event runs down the time-sorted flow list, so the event
+     heap holds O(active flows) entries, not O(total flows). *)
+  let rec walk i =
+    if i < n then begin
+      let at = Int64.of_int (Scenario.at sched i) in
+      Engine.at engine at (fun () ->
+          inject ?on_inject mach t ~key:(Scenario.dst sched i) ~len;
+          if Scenario.size sched i > 1 then
+            chain ~flow:i ~seq:1 (Int64.add at pkt_gap);
+          walk (i + 1))
+    end
+  in
+  walk 0;
+  t
+
 let injected t = t.injected
 let done_ t = t.injected >= t.count

@@ -38,5 +38,20 @@ val poisson_rate :
 (** Exponentially distributed inter-arrival times with the given mean,
     drawn from the machine's seeded RNG. *)
 
+val replay :
+  Vmk_hw.Machine.t ->
+  Scenario.t ->
+  len:int ->
+  ?pkt_gap:int64 ->
+  ?on_inject:(tag:int -> at:int64 -> unit) ->
+  unit ->
+  t
+(** Replay a materialised {!Scenario} schedule against the NIC,
+    {e open-loop}: every flow starts at its scheduled absolute cycle and
+    streams its packets [pkt_gap] cycles apart (default 200), with no
+    gate and no backoff — congestion in the system under test never
+    slows the source. Packets are demux-keyed by the flow's destination
+    guest. [done_] flips once all [total_packets] went in. *)
+
 val injected : t -> int
 val done_ : t -> bool

@@ -196,6 +196,109 @@ let test_table_pads_short_rows () =
 let test_table_cellf () =
   Alcotest.(check string) "formats" "12.50" (Table.cellf "%.2f" 12.5)
 
+(* --- Quantile (E22 streaming sketches) --- *)
+
+let exact_nearest_rank xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let r = int_of_float (ceil (q *. float_of_int n)) in
+  let r = max 1 (min n r) in
+  a.(r - 1)
+
+let test_sketch_empty_and_single () =
+  let s = Quantile.Sketch.create () in
+  check_int "count" 0 (Quantile.Sketch.count s);
+  check_float "empty quantile" 0.0 (Quantile.Sketch.quantile s 0.5);
+  Quantile.Sketch.add s 42;
+  check_float "single p50" 42.0 (Quantile.Sketch.quantile s 0.5);
+  check_float "single p999" 42.0 (Quantile.Sketch.quantile s 0.999);
+  check_int "min" 42 (Quantile.Sketch.min_value s);
+  check_int "max" 42 (Quantile.Sketch.max_value s)
+
+let test_sketch_constant_stream () =
+  (* Degenerate input: every sample equal. The [min,max] clamp must make
+     all quantiles exact even when the value lands mid-bucket. *)
+  let s = Quantile.Sketch.create () in
+  for _ = 1 to 1000 do
+    Quantile.Sketch.add s 123_457
+  done;
+  List.iter
+    (fun q -> check_float "constant" 123_457.0 (Quantile.Sketch.quantile s q))
+    [ 0.0; 0.5; 0.99; 0.999; 1.0 ]
+
+let test_sketch_bounded_error () =
+  (* Mixed-magnitude stream: sketch quantiles stay within the advertised
+     relative error (2^-7 at the default bits=7; allow 2^-6 slack for
+     nearest-rank rounding at bucket edges). *)
+  let rng = Vmk_sim.Rng.create ~seed:99L () in
+  let xs = ref [] in
+  let s = Quantile.Sketch.create () in
+  for _ = 1 to 5000 do
+    let v =
+      let base = 1 lsl Vmk_sim.Rng.int rng 18 in
+      base + Vmk_sim.Rng.int rng base
+    in
+    xs := v :: !xs;
+    Quantile.Sketch.add s v
+  done;
+  List.iter
+    (fun q ->
+      let exact = float_of_int (exact_nearest_rank !xs q) in
+      let est = Quantile.Sketch.quantile s q in
+      let rel = abs_float (est -. exact) /. exact in
+      if rel > 1.0 /. 64.0 then
+        Alcotest.failf "q=%.3f exact=%.0f est=%.0f rel=%.4f" q exact est rel)
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_sketch_negative_rejected () =
+  let s = Quantile.Sketch.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Quantile.Sketch.add: negative sample") (fun () ->
+      Quantile.Sketch.add s (-1))
+
+let prop_sketch_merge_equals_single_stream =
+  (* The load-bearing E22 property: merging per-shard sketches must be
+     *bit-identical* to one sketch over the concatenated stream — that is
+     what makes lock-free per-core collection sound. *)
+  QCheck.Test.make ~name:"sketch: merge of shards == single stream" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 5) (list_of_size Gen.(0 -- 60) (0 -- 1_000_000)))
+    (fun shards ->
+      let merged = Quantile.Sketch.create () in
+      List.iter
+        (fun shard ->
+          let s = Quantile.Sketch.create () in
+          List.iter (Quantile.Sketch.add s) shard;
+          Quantile.Sketch.merge_into ~into:merged s)
+        shards;
+      let single = Quantile.Sketch.create () in
+      List.iter (Quantile.Sketch.add single) (List.concat shards);
+      Quantile.Sketch.fingerprint merged = Quantile.Sketch.fingerprint single
+      && List.for_all
+           (fun q ->
+             Quantile.Sketch.quantile merged q
+             = Quantile.Sketch.quantile single q)
+           [ 0.5; 0.99; 0.999 ])
+
+let test_p2_small_n_exact () =
+  (* Fewer observations than markers: P2 must fall back to exact ranks. *)
+  let p = Quantile.P2.create 0.5 in
+  check_float "empty" 0.0 (Quantile.P2.value p);
+  Quantile.P2.add p 9.0;
+  Quantile.P2.add p 1.0;
+  Quantile.P2.add p 5.0;
+  check_float "n=3 median" 5.0 (Quantile.P2.value p)
+
+let test_p2_tracks_median () =
+  let p = Quantile.P2.create 0.5 in
+  let rng = Vmk_sim.Rng.create ~seed:5L () in
+  for _ = 1 to 2000 do
+    Quantile.P2.add p (Vmk_sim.Rng.float rng 100.0)
+  done;
+  let v = Quantile.P2.value p in
+  Alcotest.(check bool) "median of U(0,100) near 50" true
+    (v > 45.0 && v < 55.0)
+
 let suite =
   [
     Alcotest.test_case "summary: empty" `Quick test_summary_empty;
@@ -229,4 +332,17 @@ let suite =
     Alcotest.test_case "table: padding and limits" `Quick
       test_table_pads_short_rows;
     Alcotest.test_case "table: cellf" `Quick test_table_cellf;
+    Alcotest.test_case "quantile: empty/single" `Quick
+      test_sketch_empty_and_single;
+    Alcotest.test_case "quantile: constant stream exact" `Quick
+      test_sketch_constant_stream;
+    Alcotest.test_case "quantile: bounded relative error" `Quick
+      test_sketch_bounded_error;
+    Alcotest.test_case "quantile: rejects negatives" `Quick
+      test_sketch_negative_rejected;
+    QCheck_alcotest.to_alcotest prop_sketch_merge_equals_single_stream;
+    Alcotest.test_case "quantile: p2 small n exact" `Quick
+      test_p2_small_n_exact;
+    Alcotest.test_case "quantile: p2 tracks median" `Quick
+      test_p2_tracks_median;
   ]

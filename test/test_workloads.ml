@@ -107,6 +107,162 @@ let test_traffic_tags_carry_demux_key () =
   | Some ev -> check_int "demux key" 7 (ev.Nic.tag / 1_000_000)
   | None -> Alcotest.fail "no packet"
 
+(* --- Scenario generator (E22) --- *)
+
+module Scenario = Vmk_workloads.Scenario
+module Rng = Vmk_sim.Rng
+
+let small_cfg =
+  {
+    Scenario.tenants = 4;
+    guests = 4;
+    mean_flow_gap = 5_000.0;
+    zipf_alpha = 2.2;
+    size_min = 1;
+    size_max = 256;
+    on_mean = 80_000.0;
+    off_mean = 40_000.0;
+    ramp = Scenario.diurnal;
+    horizon = 2_000_000L;
+  }
+
+let test_scenario_same_seed_bit_for_bit () =
+  let a = Scenario.generate ~seed:11L small_cfg in
+  let b = Scenario.generate ~seed:11L small_cfg in
+  check_int "same flow count" (Scenario.flows a) (Scenario.flows b);
+  check_int "same fingerprint" (Scenario.fingerprint a)
+    (Scenario.fingerprint b);
+  for i = 0 to Scenario.flows a - 1 do
+    if
+      Scenario.at a i <> Scenario.at b i
+      || Scenario.size a i <> Scenario.size b i
+      || Scenario.tenant a i <> Scenario.tenant b i
+      || Scenario.dst a i <> Scenario.dst b i
+    then Alcotest.failf "flow %d differs between same-seed runs" i
+  done;
+  let c = Scenario.generate ~seed:12L small_cfg in
+  check_bool "different seed diverges" true
+    (Scenario.fingerprint a <> Scenario.fingerprint c)
+
+let test_scenario_sorted_and_packed_fields () =
+  let s = Scenario.generate ~seed:3L small_cfg in
+  check_bool "nonempty" true (Scenario.flows s > 100);
+  let total = ref 0 in
+  for i = 0 to Scenario.flows s - 1 do
+    if i > 0 && Scenario.at s i < Scenario.at s (i - 1) then
+      Alcotest.fail "arrivals not sorted";
+    let sz = Scenario.size s i
+    and tn = Scenario.tenant s i
+    and src = Scenario.src s i
+    and dst = Scenario.dst s i in
+    check_bool "size in bounds" true (sz >= 1 && sz <= 256);
+    check_bool "tenant in range" true (tn >= 0 && tn < 4);
+    check_int "src follows tenant" ((tn mod 4) + 1) src;
+    check_bool "dst is another guest" true
+      (dst >= 1 && dst <= 4 && dst <> src);
+    total := !total + sz
+  done;
+  check_int "total_packets consistent" !total (Scenario.total_packets s)
+
+let test_zipf_tail_exponent () =
+  (* Rank-frequency sanity: for a bounded power law with density ~ s^-a,
+     the ccdf slope between well-populated sizes approximates -(a-1). *)
+  let rng = Rng.create ~seed:21L () in
+  let n = 50_000 and alpha = 2.5 in
+  let le8 = ref 0 and le64 = ref 0 in
+  for _ = 1 to n do
+    let v = Scenario.zipf rng ~alpha ~lo:1 ~hi:4096 in
+    check_bool "in bounds" true (v >= 1 && v <= 4096);
+    if v > 8 then incr le8;
+    if v > 64 then incr le64
+  done;
+  let ccdf8 = float_of_int !le8 /. float_of_int n
+  and ccdf64 = float_of_int !le64 /. float_of_int n in
+  check_bool "tail populated" true (ccdf64 > 0.0);
+  let slope = log (ccdf8 /. ccdf64) /. log (64.0 /. 8.0) in
+  if abs_float (slope -. (alpha -. 1.0)) > 0.35 then
+    Alcotest.failf "tail slope %.3f, expected ~%.1f" slope (alpha -. 1.0)
+
+let test_scenario_poisson_mean () =
+  (* Flat ramp, effectively always-ON single tenant: the flow count must
+     match horizon/mean_gap within a few standard deviations. *)
+  let cfg =
+    {
+      small_cfg with
+      Scenario.tenants = 1;
+      ramp = Scenario.flat;
+      on_mean = 1e12;
+      off_mean = 1.0;
+      mean_flow_gap = 1_000.0;
+      horizon = 20_000_000L;
+    }
+  in
+  let s = Scenario.generate ~seed:4L cfg in
+  let expected = 20_000.0 in
+  let got = float_of_int (Scenario.flows s) in
+  if abs_float (got -. expected) > 5.0 *. sqrt expected then
+    Alcotest.failf "poisson count %.0f, expected %.0f +- %.0f" got expected
+      (5.0 *. sqrt expected);
+  check_bool "always on" true (Scenario.on_fraction s ~tenant:0 > 0.999)
+
+let test_scenario_duty_cycle () =
+  (* Long horizon, many dwell alternations: ON fraction ~ on/(on+off). *)
+  let cfg =
+    {
+      small_cfg with
+      Scenario.tenants = 2;
+      ramp = Scenario.flat;
+      on_mean = 50_000.0;
+      off_mean = 150_000.0;
+      horizon = 40_000_000L;
+    }
+  in
+  let s = Scenario.generate ~seed:8L cfg in
+  for tn = 0 to 1 do
+    let f = Scenario.on_fraction s ~tenant:tn in
+    if abs_float (f -. 0.25) > 0.08 then
+      Alcotest.failf "tenant %d duty %.3f, expected ~0.25" tn f
+  done
+
+let test_scenario_tenant_rate_hook () =
+  let cfg = { small_cfg with Scenario.ramp = Scenario.flat } in
+  let s =
+    Scenario.generate ~seed:5L
+      ~tenant_rate:(fun tn -> if tn = 0 then 8.0 else 1.0)
+      cfg
+  in
+  let per = Array.make 4 0 in
+  Scenario.iter s (fun ~flow:_ ~at:_ ~tenant ~src:_ ~dst:_ ~size:_ ->
+      per.(tenant) <- per.(tenant) + 1);
+  check_bool "aggressor dominates" true
+    (per.(0) > 3 * per.(1) && per.(0) > 3 * per.(2) && per.(0) > 3 * per.(3))
+
+let test_traffic_replay_open_loop () =
+  (* Replay injects the whole schedule against the NIC with no gate. *)
+  let cfg =
+    {
+      small_cfg with
+      Scenario.tenants = 2;
+      guests = 2;
+      mean_flow_gap = 20_000.0;
+      size_max = 4;
+      horizon = 400_000L;
+    }
+  in
+  let s = Scenario.generate ~seed:6L cfg in
+  check_bool "has flows" true (Scenario.flows s > 0);
+  let mach = Machine.create ~seed:9L () in
+  let arrivals = ref [] in
+  let t =
+    Traffic.replay mach s ~len:64 ~pkt_gap:100L
+      ~on_inject:(fun ~tag ~at -> arrivals := (tag, at) :: !arrivals)
+      ()
+  in
+  Machine.burn mach (Int64.to_int cfg.Scenario.horizon + 400_000);
+  check_bool "open loop: everything went in" true (Traffic.done_ t);
+  check_int "count = total packets" (Scenario.total_packets s)
+    (Traffic.injected t)
+
 let suite =
   [
     Alcotest.test_case "null_syscalls counts" `Quick test_null_syscalls_counts;
@@ -123,4 +279,18 @@ let suite =
       test_traffic_poisson_reaches_count;
     Alcotest.test_case "traffic: demux key" `Quick
       test_traffic_tags_carry_demux_key;
+    Alcotest.test_case "scenario: same seed bit-for-bit" `Quick
+      test_scenario_same_seed_bit_for_bit;
+    Alcotest.test_case "scenario: sorted, packed fields" `Quick
+      test_scenario_sorted_and_packed_fields;
+    Alcotest.test_case "scenario: zipf tail exponent" `Quick
+      test_zipf_tail_exponent;
+    Alcotest.test_case "scenario: poisson mean" `Quick
+      test_scenario_poisson_mean;
+    Alcotest.test_case "scenario: on/off duty cycle" `Quick
+      test_scenario_duty_cycle;
+    Alcotest.test_case "scenario: tenant rate hook" `Quick
+      test_scenario_tenant_rate_hook;
+    Alcotest.test_case "traffic: replay is open-loop" `Quick
+      test_traffic_replay_open_loop;
   ]
